@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks re-generate the paper's experimental artifacts (Tables 1 and
+2) on the reproduction's own prover portfolio.  Per-prover timeouts are
+scaled down relative to the interactive defaults so that a full benchmark
+run stays within minutes on a laptop; the shape of the results (which
+structures verify fully without proof constructs, which need them, relative
+verification times) is what is compared against the paper -- see
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.provers.dispatch import default_portfolio
+from repro.verifier.engine import VerificationEngine
+
+#: Scale factor applied to every per-prover timeout in the benchmarks.
+TIMEOUT_SCALE = 0.4
+
+
+@pytest.fixture
+def engine() -> VerificationEngine:
+    """A verification engine with benchmark-scaled prover timeouts."""
+    return VerificationEngine(default_portfolio().scaled(TIMEOUT_SCALE))
+
+
+def make_engine() -> VerificationEngine:
+    """Engine factory for benchmarks that need a fresh engine per call."""
+    return VerificationEngine(default_portfolio().scaled(TIMEOUT_SCALE))

@@ -1,0 +1,65 @@
+"""Quickstart: verify a tiny annotated method end to end.
+
+The example builds a one-method "counter" module with a contract and a class
+invariant, runs the full pipeline (lowering -> guarded commands -> weakest
+liberal preconditions -> splitting -> multi-prover dispatch) and prints the
+per-sequent results, including which prover of the portfolio discharged each
+sequent.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.suite.common import StructureBuilder
+from repro.verifier.engine import VerificationEngine
+
+
+def build_counter():
+    s = StructureBuilder("Counter")
+    s.concrete("value", "int")
+    s.concrete("limit", "int")
+    s.ghost("history", "int set")
+    s.invariant("InRange", "0 <= value & value <= limit")
+    s.invariant("Recorded", "value in history")
+
+    m = s.method(
+        "increment",
+        requires="value < limit",
+        modifies="value, history",
+        ensures="value = old value + 1 & old value in history",
+    )
+    m.assign("value", "value + 1")
+    m.ghost_assign("history", "history Un {value}")
+    m.done()
+
+    m = s.method(
+        "reset",
+        requires="0 <= limit",
+        modifies="value, history",
+        ensures="value = 0",
+    )
+    m.assign("value", "0")
+    m.ghost_assign("history", "history Un {0}")
+    m.done()
+    return s.build()
+
+
+def main() -> None:
+    counter = build_counter()
+    engine = VerificationEngine()
+    report = engine.verify_class(counter)
+    print(f"verifying {counter.name!r}")
+    for method_report in report.methods:
+        print(f"\nmethod {method_report.method_name}:")
+        for outcome in method_report.outcomes:
+            status = "proved" if outcome.proved else "FAILED"
+            prover = f" [{outcome.prover}]" if outcome.proved else ""
+            print(f"  {outcome.sequent.label:<28} {status}{prover}")
+    print(
+        f"\ntotal: {report.sequents_proved}/{report.sequents_total} sequents, "
+        f"{report.methods_verified}/{report.methods_total} methods, "
+        f"{report.elapsed:.1f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Machine-checking the soundness argument of Section 5 / Appendix A.
+
+Every integrated proof language construct ``p`` must be *stronger than
+skip*: ``wlp([[p]], H) --> H``.  This example instantiates each construct of
+Figure 3 (plus ``fix`` of Appendix B) with representative formulas, builds
+the obligation from the construct's guarded-command translation, and has the
+prover portfolio discharge it.
+
+Run with:  python examples/soundness_check.py
+"""
+
+from repro.gcl.extended import Skip
+from repro.logic import INT, Var
+from repro.logic.parser import parse_formula
+from repro.proofs.constructs import (
+    Assuming,
+    ByContradiction,
+    Cases,
+    Contradiction,
+    Fix,
+    Induct,
+    Instantiate,
+    Localize,
+    Mp,
+    Note,
+    PickAny,
+    PickWitness,
+    ShowedCase,
+    Witness,
+)
+from repro.proofs.soundness import SoundnessChecker
+
+
+def main() -> None:
+    env = {"x": INT, "y": INT, "n": INT}
+    f = lambda text: parse_formula(text, env)  # noqa: E731
+    n = Var("n", INT)
+    post = f("x <= y | y <= x")
+    constructs = [
+        Note("L", f("x <= x")),
+        Localize(Note("inner", f("x <= x + 1")), "L", f("x <= x + 2")),
+        Mp("L", f("x <= y"), f("x <= y + 1")),
+        Assuming("h", f("x <= y"), Skip(), "c", f("x <= y + 1")),
+        Cases((f("x <= y"), f("y <= x")), "L", f("x <= y | y <= x")),
+        ShowedCase(1, "L", (f("x <= x"), f("x < 0"))),
+        ByContradiction("L", f("x <= x"), Skip()),
+        Contradiction("L", f("x = x")),
+        Instantiate("L", f("ALL k : int. k <= k"), (Var("x", INT),)),
+        Witness((Var("x", INT),), "L", f("EX k : int. k <= x")),
+        PickWitness((Var("w", INT),), "h", f("w = w"), Skip(), "c", f("x = x")),
+        PickAny((Var("z", INT),), Skip(), "L", f("z <= z")),
+        Induct("L", f("0 <= n"), n, Skip()),
+        Fix((Var("z", INT),), f("z = x"), Skip(), "L", f("z = x")),
+    ]
+    checker = SoundnessChecker()
+    print("checking wlp([[p]], H) --> H for every proof construct:\n")
+    all_ok = True
+    for construct in constructs:
+        report = checker.check(construct, post)
+        status = "sound" if report.proved else "NOT PROVED"
+        all_ok &= report.proved
+        print(f"  {report.construct:<16} {status}  (prover: {report.prover})")
+    print("\nall constructs verified" if all_ok else "\nsome checks failed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""The surface program model (classes, contracts, statements) and lowering."""
+
+from .ast import (
+    ArrayWrite,
+    Assign,
+    AssertStmt,
+    AssumeStmt,
+    Call,
+    ClassModel,
+    FieldWrite,
+    GhostAssign,
+    If,
+    Invariant,
+    Method,
+    MethodContract,
+    ProofStmt,
+    Return,
+    StateVar,
+    Stmt,
+    While,
+    count_proof_constructs,
+    count_statements,
+)
+from .lower import LoweringError, MethodLowering, lower_method
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,446 @@
+"""Lowering surface methods into extended guarded commands.
+
+For a method ``m`` of a class model the lowering builds the command
+
+    assume Inv_1 ; ... ; assume Inv_k ;          (class invariants)
+    assume Pre ;                                  (requires clause)
+    assume old_x = x ;  ...                       (pre-state snapshot)
+    [[body]] ;
+    assert Post ; assert Inv_1 Restored ; ...     (exit obligations)
+
+with the following statement translations (mirroring Section 3 of the
+paper):
+
+* field and array assignments become function-update assignments of the
+  corresponding map-valued state variable (``next := next[n := v]``),
+  preceded by automatically inserted null-dereference / array-bounds
+  assertions;
+* ``return e`` assigns the result variable, asserts the exit obligations and
+  cuts the path with ``assume false``;
+* calls to sibling methods are verified modularly: assert the callee's
+  precondition, havoc its frame, assume its postcondition (with ``old``
+  referring to the pre-call snapshot) -- the assumed postcondition is named
+  ``<callee>_Post`` so that proof annotations can reference it in ``from``
+  clauses exactly like the paper's ``shift Postcondition``;
+* specification variables with ``vardefs`` definitions are *expanded*: every
+  occurrence in contracts, invariants and proof annotations is replaced by
+  its defining formula over the concrete state (Jahob's abstraction
+  functions);
+* ``old(e)`` in postconditions refers to the renamed pre-state snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gcl import extended as gc
+from ..gcl.extended import ExtendedCommand, eseq
+from ..logic import builder as b
+from ..logic.simplify import simplify
+from ..logic.sorts import OBJ, MapSort
+from ..logic.subst import substitute
+from ..logic.terms import (
+    NULL,
+    App,
+    Binder,
+    Term,
+    Var,
+    free_vars,
+    subterms,
+)
+from .ast import (
+    ArrayWrite,
+    Assign,
+    AssertStmt,
+    AssumeStmt,
+    Call,
+    ClassModel,
+    FieldWrite,
+    GhostAssign,
+    If,
+    Method,
+    ProofStmt,
+    Return,
+    Stmt,
+    While,
+)
+
+__all__ = ["LoweringError", "MethodLowering", "lower_method"]
+
+
+class LoweringError(ValueError):
+    """Raised when a method body cannot be lowered."""
+
+
+@dataclass
+class MethodLowering:
+    """The result of lowering one method."""
+
+    command: ExtendedCommand
+    exit_asserts: tuple[tuple[str, Term], ...]
+    old_snapshot: dict[str, Var]
+
+
+def lower_method(
+    cls: ClassModel,
+    method: Method,
+    check_invariants: bool = True,
+    runtime_checks: bool = True,
+) -> MethodLowering:
+    """Lower ``method`` of ``cls`` into an extended guarded command."""
+    lowering = _Lowerer(cls, method, check_invariants, runtime_checks)
+    return lowering.run()
+
+
+class _Lowerer:
+    def __init__(
+        self,
+        cls: ClassModel,
+        method: Method,
+        check_invariants: bool,
+        runtime_checks: bool,
+    ) -> None:
+        self.cls = cls
+        self.method = method
+        self.check_invariants = check_invariants
+        self.runtime_checks = runtime_checks
+        self.spec_definitions = {
+            sv.name: sv.definition for sv in cls.spec_vars if sv.definition is not None
+        }
+        self.state_names = {sv.name for sv in cls.state}
+        self.field_maps = {
+            sv.name
+            for sv in cls.state
+            if isinstance(sv.sort, MapSort) and sv.sort.dom == OBJ
+        }
+        self.array_maps = {
+            sv.name
+            for sv in cls.state
+            if isinstance(sv.sort, MapSort) and sv.sort.dom != OBJ
+        }
+        self.old_snapshot: dict[str, Var] = {}
+        self.counter = 0
+
+    # -- small helpers -------------------------------------------------------------
+
+    def _fresh_name(self, base: str) -> str:
+        self.counter += 1
+        return f"{base}__{self.counter}"
+
+    def _state_var(self, name: str) -> Var:
+        return self.cls.state_var(name).var
+
+    def expand(self, formula: Term) -> Term:
+        """Expand spec-variable definitions (vardefs) in a formula."""
+        mapping: dict[Var, Term] = {}
+        for var in free_vars(formula):
+            if var.name in self.spec_definitions:
+                mapping[var] = self.expand(self.spec_definitions[var.name])
+        if not mapping:
+            return formula
+        return substitute(formula, mapping)
+
+    def eliminate_old(self, formula: Term) -> Term:
+        """Replace ``old(e)`` by ``e`` with state variables renamed to their
+        pre-state snapshot."""
+        return self._eliminate_old(self.expand(formula))
+
+    def _eliminate_old(self, term: Term) -> Term:
+        if isinstance(term, App) and term.op == "old":
+            return self._rename_to_old(self._eliminate_old(term.args[0]))
+        if isinstance(term, App):
+            return term.rebuild(tuple(self._eliminate_old(a) for a in term.args))
+        if isinstance(term, Binder):
+            return term.rebuild((self._eliminate_old(term.body),))
+        return term
+
+    def _rename_to_old(self, term: Term) -> Term:
+        mapping: dict[Var, Term] = {}
+        for var in free_vars(term):
+            if var.name in self.state_names:
+                mapping[var] = self._old_var(var)
+        if not mapping:
+            return term
+        return substitute(term, mapping)
+
+    def _old_var(self, var: Var) -> Var:
+        snapshot = self.old_snapshot.get(var.name)
+        if snapshot is None:
+            snapshot = Var(f"old_{var.name}", var.sort)
+            self.old_snapshot[var.name] = snapshot
+        return snapshot
+
+    # -- runtime checks ------------------------------------------------------------
+
+    def _runtime_checks(self, *terms: Term) -> list[ExtendedCommand]:
+        """Null-dereference checks for field reads occurring in ``terms``."""
+        if not self.runtime_checks:
+            return []
+        checks: list[ExtendedCommand] = []
+        seen: set[Term] = set()
+        for term in terms:
+            for sub in subterms(term):
+                if (
+                    isinstance(sub, App)
+                    and sub.op == "select"
+                    and isinstance(sub.args[0], Var)
+                    and sub.args[0].name in self.field_maps
+                    and sub.args[1].sort == OBJ
+                ):
+                    receiver = sub.args[1]
+                    if receiver in seen or receiver == NULL:
+                        continue
+                    seen.add(receiver)
+                    checks.append(
+                        gc.Assert(b.Neq(receiver, NULL), "NullCheck")
+                    )
+        return checks
+
+    # -- entry / exit --------------------------------------------------------------
+
+    def _entry(self) -> list[ExtendedCommand]:
+        commands: list[ExtendedCommand] = []
+        for invariant in self.cls.invariants:
+            commands.append(
+                gc.Assume(self.expand(invariant.formula), invariant.name)
+            )
+        commands.append(gc.Assume(self.expand(self.method.contract.requires), "Pre"))
+        # Snapshot the entire concrete + ghost state so ``old`` can refer to it.
+        for state_var in self.cls.state:
+            if state_var.kind == "spec":
+                continue
+            snapshot = self._old_var(state_var.var)
+            commands.append(
+                gc.Assume(b.Eq(snapshot, state_var.var), "OldSnapshot")
+            )
+        return commands
+
+    def _exit_asserts(self) -> list[tuple[str, Term]]:
+        obligations: list[tuple[str, Term]] = [
+            ("Post", self.eliminate_old(self.method.contract.ensures))
+        ]
+        if self.check_invariants and self.method.is_public:
+            for invariant in self.cls.invariants:
+                obligations.append(
+                    (f"{invariant.name}Restored", self.expand(invariant.formula))
+                )
+        return obligations
+
+    def _exit_commands(self) -> list[ExtendedCommand]:
+        return [
+            gc.Assert(formula, label) for label, formula in self._exit_asserts()
+        ]
+
+    # -- statements -----------------------------------------------------------------
+
+    def _lower_block(self, statements: tuple[Stmt, ...]) -> ExtendedCommand:
+        return eseq(*(self._lower_stmt(stmt) for stmt in statements))
+
+    def _lower_stmt(self, stmt: Stmt) -> ExtendedCommand:
+        if isinstance(stmt, (Assign, GhostAssign)):
+            expr = self.eliminate_old(stmt.expr)
+            return eseq(
+                *self._runtime_checks(expr), gc.Assign(stmt.target, expr)
+            )
+        if isinstance(stmt, FieldWrite):
+            if stmt.field_name not in self.field_maps:
+                raise LoweringError(f"{stmt.field_name} is not a reference field")
+            field_var = self._state_var(stmt.field_name)
+            obj = self.eliminate_old(stmt.obj)
+            value = self.eliminate_old(stmt.value)
+            checks = self._runtime_checks(obj, value)
+            checks.append(gc.Assert(b.Neq(obj, NULL), "NullCheck"))
+            return eseq(
+                *checks,
+                gc.Assign(field_var, b.Store(field_var, obj, value)),
+            )
+        if isinstance(stmt, ArrayWrite):
+            if stmt.array_name not in self.array_maps:
+                raise LoweringError(f"{stmt.array_name} is not an array variable")
+            array_var = self._state_var(stmt.array_name)
+            index = self.eliminate_old(stmt.index)
+            value = self.eliminate_old(stmt.value)
+            return eseq(
+                *self._runtime_checks(index, value),
+                gc.Assign(array_var, b.Store(array_var, index, value)),
+            )
+        if isinstance(stmt, If):
+            cond = self.eliminate_old(stmt.cond)
+            return eseq(
+                *self._runtime_checks(cond),
+                gc.If(
+                    cond,
+                    self._lower_block(stmt.then_branch),
+                    self._lower_block(stmt.else_branch),
+                ),
+            )
+        if isinstance(stmt, While):
+            cond = self.expand(stmt.cond)
+            invariant = self.eliminate_old(stmt.invariant)
+            return gc.Loop(
+                invariant=invariant,
+                before=gc.Skip(),
+                cond=cond,
+                body=self._lower_block(stmt.body),
+                invariant_label=stmt.invariant_label,
+            )
+        if isinstance(stmt, Return):
+            commands: list[ExtendedCommand] = []
+            if stmt.expr is not None:
+                if self.method.return_var is None:
+                    raise LoweringError(
+                        f"{self.method.name} returns a value but declares none"
+                    )
+                expr = self.eliminate_old(stmt.expr)
+                commands.extend(self._runtime_checks(expr))
+                commands.append(gc.Assign(self.method.return_var, expr))
+            commands.extend(self._exit_commands())
+            commands.append(gc.Assume(b.Bool(False), "ReturnCut"))
+            return eseq(*commands)
+        if isinstance(stmt, Call):
+            return self._lower_call(stmt)
+        if isinstance(stmt, AssertStmt):
+            return gc.Assert(
+                self.eliminate_old(stmt.formula), stmt.label, stmt.from_hints
+            )
+        if isinstance(stmt, AssumeStmt):
+            return gc.Assume(self.eliminate_old(stmt.formula), stmt.label)
+        if isinstance(stmt, ProofStmt):
+            return self._expand_proof(stmt.construct)
+        raise LoweringError(f"unknown statement {type(stmt)!r}")
+
+    # -- proof constructs -------------------------------------------------------------
+
+    def _expand_proof(self, construct) -> ExtendedCommand:
+        """Expand vardefs and ``old`` inside the formulas of a proof construct."""
+        from dataclasses import fields as dc_fields, replace
+
+        updates = {}
+        for fld in dc_fields(construct):
+            value = getattr(construct, fld.name)
+            if isinstance(value, Term):
+                updates[fld.name] = self.eliminate_old(value)
+            elif isinstance(value, tuple) and value and all(
+                isinstance(item, Term) for item in value
+            ):
+                if fld.name in ("variables",) or all(
+                    isinstance(item, Var) for item in value
+                ) and fld.name == "variables":
+                    continue
+                updates[fld.name] = tuple(self.eliminate_old(item) for item in value)
+            elif isinstance(value, ExtendedCommand):
+                updates[fld.name] = self._expand_command(value)
+        return replace(construct, **updates) if updates else construct
+
+    def _expand_command(self, command: ExtendedCommand) -> ExtendedCommand:
+        from ..gcl.extended import ProofConstruct
+
+        if isinstance(command, ProofConstruct):
+            return self._expand_proof(command)
+        if isinstance(command, gc.Seq):
+            return eseq(*(self._expand_command(sub) for sub in command.commands))
+        if isinstance(command, gc.Assume):
+            return gc.Assume(self.eliminate_old(command.formula), command.label)
+        if isinstance(command, gc.Assert):
+            return gc.Assert(
+                self.eliminate_old(command.formula), command.label, command.from_hints
+            )
+        if isinstance(command, gc.Skip):
+            return command
+        raise LoweringError(
+            f"unsupported command {type(command)!r} inside a proof construct"
+        )
+
+    # -- calls -----------------------------------------------------------------------
+
+    def _lower_call(self, stmt: Call) -> ExtendedCommand:
+        callee = self.cls.method(stmt.method_name)
+        if len(stmt.args) != len(callee.params):
+            raise LoweringError(
+                f"call to {stmt.method_name} passes {len(stmt.args)} arguments, "
+                f"expected {len(callee.params)}"
+            )
+        binding: dict[Var, Term] = {
+            param: self.expand(arg) for param, arg in zip(callee.params, stmt.args)
+        }
+        commands: list[ExtendedCommand] = []
+        commands.extend(self._runtime_checks(*binding.values()))
+        requires = substitute(self.expand(callee.contract.requires), binding)
+        commands.append(gc.Assert(requires, f"{callee.name}_Pre"))
+        # Pre-call snapshot for the callee's ``old``.
+        call_old: dict[Var, Term] = {}
+        modified_vars = [
+            self._state_var(name)
+            for name in callee.contract.modifies
+            if self.cls.has_state_var(name)
+        ]
+        snapshot_commands: list[ExtendedCommand] = []
+        for var in modified_vars:
+            snapshot = Var(self._fresh_name(f"{var.name}_before_{callee.name}"), var.sort)
+            call_old[var] = snapshot
+            snapshot_commands.append(gc.Assume(b.Eq(snapshot, var), "CallSnapshot"))
+        commands.extend(snapshot_commands)
+        if modified_vars:
+            commands.append(gc.Havoc(tuple(modified_vars)))
+        # Build the assumed postcondition.
+        result_binding = dict(binding)
+        if callee.return_var is not None:
+            if stmt.target is not None:
+                result_binding[callee.return_var] = stmt.target
+            else:
+                fresh_result = Var(
+                    self._fresh_name(f"{callee.name}_result"), callee.return_var.sort
+                )
+                result_binding[callee.return_var] = fresh_result
+        if stmt.target is not None and callee.return_var is None:
+            raise LoweringError(f"{callee.name} does not return a value")
+        if stmt.target is not None:
+            commands.append(gc.Havoc((stmt.target,)))
+        ensures = self._callee_ensures(callee, result_binding, call_old)
+        commands.append(gc.Assume(ensures, f"{callee.name}_Post"))
+        if callee.is_public:
+            for invariant in self.cls.invariants:
+                commands.append(
+                    gc.Assume(self.expand(invariant.formula), invariant.name)
+                )
+        return eseq(*commands)
+
+    def _callee_ensures(
+        self,
+        callee: Method,
+        binding: dict[Var, Term],
+        call_old: dict[Var, Term],
+    ) -> Term:
+        expanded = self.expand(callee.contract.ensures)
+        eliminated = self._eliminate_old_with(expanded, call_old)
+        return substitute(eliminated, binding)
+
+    def _eliminate_old_with(self, term: Term, snapshot: dict[Var, Term]) -> Term:
+        if isinstance(term, App) and term.op == "old":
+            inner = self._eliminate_old_with(term.args[0], snapshot)
+            mapping = {
+                var: snapshot[var]
+                for var in free_vars(inner)
+                if var in snapshot
+            }
+            return substitute(inner, mapping) if mapping else inner
+        if isinstance(term, App):
+            return term.rebuild(
+                tuple(self._eliminate_old_with(a, snapshot) for a in term.args)
+            )
+        if isinstance(term, Binder):
+            return term.rebuild((self._eliminate_old_with(term.body, snapshot),))
+        return term
+
+    # -- driver -----------------------------------------------------------------------
+
+    def run(self) -> MethodLowering:
+        commands = self._entry()
+        commands.append(self._lower_block(self.method.body))
+        commands.extend(self._exit_commands())
+        command = eseq(*commands)
+        return MethodLowering(
+            command=command,
+            exit_asserts=tuple(self._exit_asserts()),
+            old_snapshot=dict(self.old_snapshot),
+        )

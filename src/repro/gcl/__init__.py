@@ -1,0 +1,36 @@
+"""Guarded command languages, desugaring and weakest liberal preconditions."""
+
+from .desugar import Desugarer, desugar
+from .extended import (
+    Assert,
+    Assign,
+    Assume,
+    Choice,
+    ExtendedCommand,
+    Havoc,
+    If,
+    Loop,
+    ProofConstruct,
+    Seq,
+    Skip,
+    assigned_variables,
+    eseq,
+)
+from .printer import format_extended, format_simple
+from .simple import (
+    SAssert,
+    SAssume,
+    SChoice,
+    SHavoc,
+    SimpleCommand,
+    SSeq,
+    SSkip,
+    command_size,
+    modified_variables,
+    schoice,
+    sseq,
+    sskip,
+)
+from .wlp import wlp
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,136 @@
+"""Translating extended guarded commands into simple commands (Figure 6).
+
+    [[x := F]]                      = havoc v ; assume v = F ;
+                                      havoc x ; assume x = v          (v fresh)
+    [[if (F) c1 else c2]]           = (assume F ; [[c1]]) [] (assume ~F ; [[c2]])
+    [[loop inv(I) c1 while(F) c2]]  = assert I ; havoc mod(c1;c2) ; assume I ;
+                                      [[c1]] ;
+                                      (assume ~F []
+                                       (assume F ; [[c2]] ; assert I ;
+                                        assume false))
+    [[havoc x suchThat F]]          = assert EX x. F ; havoc x ; assume F
+
+Integrated proof language constructs are translated by
+:mod:`repro.proofs.translate` (Figure 8); this module dispatches to it so a
+whole method body, code and proofs interleaved, desugars in one pass.
+"""
+
+from __future__ import annotations
+
+from ..logic import builder as b
+from ..logic.subst import FreshNameGenerator
+from ..logic.terms import Term, Var, free_var_names
+from .extended import (
+    Assert,
+    Assign,
+    Assume,
+    Choice,
+    ExtendedCommand,
+    Havoc,
+    If,
+    Loop,
+    ProofConstruct,
+    Seq,
+    Skip,
+    assigned_variables,
+)
+from .simple import SAssert, SAssume, SHavoc, SimpleCommand, schoice, sseq, sskip
+
+__all__ = ["desugar", "Desugarer"]
+
+
+class Desugarer:
+    """Stateful desugaring context carrying the fresh-name generator."""
+
+    def __init__(self, used_names: set[str] | frozenset[str] | None = None) -> None:
+        self.fresh = FreshNameGenerator(set(used_names or ()))
+
+    # -- public API --------------------------------------------------------------
+
+    def desugar(self, command: ExtendedCommand) -> SimpleCommand:
+        """Translate an extended command into simple guarded commands."""
+        if isinstance(command, Skip):
+            return sskip()
+        if isinstance(command, Assume):
+            return SAssume(command.formula, command.label)
+        if isinstance(command, Assert):
+            return SAssert(command.formula, command.label, command.from_hints)
+        if isinstance(command, Assign):
+            return self._desugar_assign(command)
+        if isinstance(command, Seq):
+            return sseq(*(self.desugar(sub) for sub in command.commands))
+        if isinstance(command, Choice):
+            return schoice(self.desugar(command.left), self.desugar(command.right))
+        if isinstance(command, If):
+            return self._desugar_if(command)
+        if isinstance(command, Loop):
+            return self._desugar_loop(command)
+        if isinstance(command, Havoc):
+            return self._desugar_havoc(command)
+        if isinstance(command, ProofConstruct):
+            from ..proofs.translate import translate_proof
+
+            return translate_proof(command, self)
+        raise TypeError(f"unknown extended command {type(command)!r}")
+
+    # -- individual constructs ------------------------------------------------------
+
+    def _desugar_assign(self, command: Assign) -> SimpleCommand:
+        for name in free_var_names(command.expr):
+            self.fresh.reserve(name)
+        self.fresh.reserve(command.target.name)
+        temp = Var(self.fresh.fresh(f"v_{command.target.name}"), command.target.sort)
+        return sseq(
+            SHavoc((temp,)),
+            SAssume(b.Eq(temp, command.expr), "AssignTmp"),
+            SHavoc((command.target,)),
+            SAssume(b.Eq(command.target, temp), f"Assign_{command.target.name}"),
+        )
+
+    def _desugar_if(self, command: If) -> SimpleCommand:
+        then_branch = sseq(
+            SAssume(command.cond, "BranchCondition"),
+            self.desugar(command.then_branch),
+        )
+        else_branch = sseq(
+            SAssume(b.Not(command.cond), "BranchCondition"),
+            self.desugar(command.else_branch),
+        )
+        return schoice(then_branch, else_branch)
+
+    def _desugar_loop(self, command: Loop) -> SimpleCommand:
+        modified = assigned_variables(Seq((command.before, command.body)))
+        label = command.invariant_label or "LoopInv"
+        exit_branch = SAssume(b.Not(command.cond), "LoopExit")
+        body_branch = sseq(
+            SAssume(command.cond, "LoopCondition"),
+            self.desugar(command.body),
+            SAssert(command.invariant, f"{label}Preserved"),
+            SAssume(b.Bool(False), "LoopCut"),
+        )
+        return sseq(
+            SAssert(command.invariant, f"{label}Initial"),
+            SHavoc(modified) if modified else sskip(),
+            SAssume(command.invariant, label),
+            self.desugar(command.before),
+            schoice(exit_branch, body_branch),
+        )
+
+    def _desugar_havoc(self, command: Havoc) -> SimpleCommand:
+        if command.such_that is None:
+            return SHavoc(command.variables)
+        label = command.label or "HavocFeasible"
+        feasibility = b.Exists(list(command.variables), command.such_that)
+        return sseq(
+            SAssert(feasibility, label),
+            SHavoc(command.variables),
+            SAssume(command.such_that, label),
+        )
+
+
+def desugar(
+    command: ExtendedCommand,
+    used_names: set[str] | frozenset[str] | None = None,
+) -> SimpleCommand:
+    """Translate ``command`` with a fresh desugaring context."""
+    return Desugarer(used_names).desugar(command)

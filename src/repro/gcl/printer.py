@@ -1,0 +1,98 @@
+"""Pretty printing of extended and simple guarded commands (debugging aid)."""
+
+from __future__ import annotations
+
+from .extended import (
+    Assert,
+    Assign,
+    Assume,
+    Choice,
+    ExtendedCommand,
+    Havoc,
+    If,
+    Loop,
+    ProofConstruct,
+    Seq,
+    Skip,
+)
+from .simple import SAssert, SAssume, SChoice, SHavoc, SimpleCommand, SSeq, SSkip
+
+__all__ = ["format_simple", "format_extended"]
+
+_INDENT = "  "
+
+
+def format_simple(command: SimpleCommand, depth: int = 0) -> str:
+    """Render a simple guarded command as indented text."""
+    pad = _INDENT * depth
+    if isinstance(command, SSkip):
+        return f"{pad}skip"
+    if isinstance(command, SAssume):
+        label = f"{command.label}: " if command.label else ""
+        return f"{pad}assume {label}{command.formula}"
+    if isinstance(command, SAssert):
+        label = f"{command.label}: " if command.label else ""
+        hints = f" from {', '.join(command.from_hints)}" if command.from_hints else ""
+        return f"{pad}assert {label}{command.formula}{hints}"
+    if isinstance(command, SHavoc):
+        names = ", ".join(v.name for v in command.variables)
+        return f"{pad}havoc {names}"
+    if isinstance(command, SChoice):
+        return (
+            f"{pad}choice {{\n"
+            + format_simple(command.left, depth + 1)
+            + f"\n{pad}}} [] {{\n"
+            + format_simple(command.right, depth + 1)
+            + f"\n{pad}}}"
+        )
+    if isinstance(command, SSeq):
+        return "\n".join(format_simple(sub, depth) for sub in command.commands)
+    raise TypeError(f"unknown simple command {type(command)!r}")
+
+
+def format_extended(command: ExtendedCommand, depth: int = 0) -> str:
+    """Render an extended guarded command as indented text."""
+    pad = _INDENT * depth
+    if isinstance(command, Skip):
+        return f"{pad}skip"
+    if isinstance(command, Assign):
+        return f"{pad}{command.target.name} := {command.expr}"
+    if isinstance(command, Assume):
+        label = f"{command.label}: " if command.label else ""
+        return f"{pad}assume {label}{command.formula}"
+    if isinstance(command, Assert):
+        label = f"{command.label}: " if command.label else ""
+        return f"{pad}assert {label}{command.formula}"
+    if isinstance(command, Havoc):
+        names = ", ".join(v.name for v in command.variables)
+        suffix = f" suchThat {command.such_that}" if command.such_that else ""
+        return f"{pad}havoc {names}{suffix}"
+    if isinstance(command, Seq):
+        return "\n".join(format_extended(sub, depth) for sub in command.commands)
+    if isinstance(command, Choice):
+        return (
+            f"{pad}choice {{\n"
+            + format_extended(command.left, depth + 1)
+            + f"\n{pad}}} [] {{\n"
+            + format_extended(command.right, depth + 1)
+            + f"\n{pad}}}"
+        )
+    if isinstance(command, If):
+        return (
+            f"{pad}if ({command.cond}) {{\n"
+            + format_extended(command.then_branch, depth + 1)
+            + f"\n{pad}}} else {{\n"
+            + format_extended(command.else_branch, depth + 1)
+            + f"\n{pad}}}"
+        )
+    if isinstance(command, Loop):
+        return (
+            f"{pad}loop inv({command.invariant})\n"
+            + format_extended(command.before, depth + 1)
+            + f"\n{pad}while ({command.cond}) {{\n"
+            + format_extended(command.body, depth + 1)
+            + f"\n{pad}}}"
+        )
+    if isinstance(command, ProofConstruct):
+        return f"{pad}{type(command).__name__}(...)"
+    raise TypeError(f"unknown extended command {type(command)!r}")

@@ -1,0 +1,54 @@
+"""Weakest liberal preconditions for simple guarded commands (Figure 5).
+
+    wlp(assume l:F, G)        = F --> G
+    wlp(assert l:F from h, G) = F /\\ G
+    wlp(havoc x, G)           = ALL x. G
+    wlp(skip, G)              = G
+    wlp(c1 [] c2, G)          = wlp(c1, G) /\\ wlp(c2, G)
+    wlp(c1 ; c2, G)           = wlp(c1, wlp(c2, G))
+
+This module is the semantic reference for the whole verification pipeline:
+the sequent-producing verification-condition generator in
+:mod:`repro.vcgen.vcgen` is checked against it in the test suite, and the
+soundness checker for the proof language (:mod:`repro.proofs.soundness`)
+uses it to verify ``wlp([[p]], H) --> H`` for every construct, reproducing
+the proofs of Appendix A.
+"""
+
+from __future__ import annotations
+
+from ..logic import builder as b
+from ..logic.terms import Term
+from .simple import (
+    SAssert,
+    SAssume,
+    SChoice,
+    SHavoc,
+    SimpleCommand,
+    SSeq,
+    SSkip,
+)
+
+__all__ = ["wlp"]
+
+
+def wlp(command: SimpleCommand, post: Term) -> Term:
+    """The weakest liberal precondition of ``command`` for ``post``."""
+    if isinstance(command, SSkip):
+        return post
+    if isinstance(command, SAssume):
+        return b.Implies(command.formula, post)
+    if isinstance(command, SAssert):
+        return b.And(command.formula, post)
+    if isinstance(command, SHavoc):
+        if not command.variables:
+            return post
+        return b.ForAll(list(command.variables), post)
+    if isinstance(command, SChoice):
+        return b.And(wlp(command.left, post), wlp(command.right, post))
+    if isinstance(command, SSeq):
+        current = post
+        for sub in reversed(command.commands):
+            current = wlp(sub, current)
+        return current
+    raise TypeError(f"unknown simple command {type(command)!r}")

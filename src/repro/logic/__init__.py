@@ -1,0 +1,84 @@
+"""The specification logic: sorts, terms, parsing, printing and semantics."""
+
+from . import builder
+from .builder import (
+    And,
+    ArrayRead,
+    ArrayWrite,
+    Bool,
+    Card,
+    Compr,
+    EmptySet,
+    Eq,
+    Exists,
+    FieldRead,
+    ForAll,
+    Ge,
+    Gt,
+    Iff,
+    Implies,
+    Int,
+    Inter,
+    IntVar,
+    Ite,
+    Lambda,
+    Le,
+    Lt,
+    Member,
+    Minus,
+    Mod,
+    Neg,
+    Neq,
+    Not,
+    NotMember,
+    ObjVar,
+    Old,
+    Or,
+    Plus,
+    Proj,
+    Select,
+    SetEnum,
+    SetMinus,
+    Singleton,
+    Store,
+    SubsetEq,
+    Times,
+    Tuple,
+    Union,
+)
+from .evaluator import Interpretation, evaluate, holds
+from .parser import ParseError, parse_formula, parse_sort, parse_term
+from .printer import to_ascii, to_unicode
+from .simplify import simplify
+from .sorts import (
+    BOOL,
+    INT,
+    OBJ,
+    FunSort,
+    MapSort,
+    SetSort,
+    Sort,
+    SortError,
+    TupleSort,
+    fun_of,
+    map_of,
+    set_of,
+    tuple_of,
+)
+from .subst import alpha_equal, instantiate_binder, substitute, substitute_by_name
+from .terms import (
+    FALSE,
+    NULL,
+    TRUE,
+    App,
+    Binder,
+    BoolLit,
+    Const,
+    IntLit,
+    Term,
+    Var,
+    free_var_names,
+    free_vars,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

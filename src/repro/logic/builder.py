@@ -1,0 +1,507 @@
+"""Smart constructors for terms and formulas.
+
+These helpers perform light sort inference/checking and some on-the-fly
+normalisation (flattening of ``and``/``or``, elimination of trivial
+operands) so that the rest of the system can build formulas without
+worrying about the raw :class:`~repro.logic.terms.App` representation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from .sorts import (
+    BOOL,
+    INT,
+    OBJ,
+    MapSort,
+    SetSort,
+    Sort,
+    SortError,
+    TupleSort,
+)
+from .terms import (
+    COMPREHENSION,
+    EXISTS,
+    FALSE,
+    FORALL,
+    LAMBDA,
+    TRUE,
+    App,
+    Binder,
+    BoolLit,
+    Const,
+    IntLit,
+    Term,
+    Var,
+)
+
+# ---------------------------------------------------------------------------
+# Boolean connectives
+# ---------------------------------------------------------------------------
+
+
+def _require_bool(term: Term, context: str) -> Term:
+    if term.sort != BOOL:
+        raise SortError(f"{context} expects a formula, got sort {term.sort}")
+    return term
+
+
+def And(*conjuncts: Term | Iterable[Term]) -> Term:
+    """Conjunction.  Flattens nested conjunctions and drops ``true``."""
+    flat = _flatten_connective("and", conjuncts)
+    if any(c == FALSE for c in flat):
+        return FALSE
+    flat = [c for c in flat if c != TRUE]
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return App("and", tuple(flat), BOOL)
+
+
+def Or(*disjuncts: Term | Iterable[Term]) -> Term:
+    """Disjunction.  Flattens nested disjunctions and drops ``false``."""
+    flat = _flatten_connective("or", disjuncts)
+    if any(d == TRUE for d in flat):
+        return TRUE
+    flat = [d for d in flat if d != FALSE]
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return App("or", tuple(flat), BOOL)
+
+
+def _flatten_connective(
+    op: str, operands: Sequence[Term | Iterable[Term]]
+) -> list[Term]:
+    flat: list[Term] = []
+    work: list[Term] = []
+    for operand in operands:
+        if isinstance(operand, Term):
+            work.append(operand)
+        else:
+            work.extend(operand)
+    for term in work:
+        _require_bool(term, op)
+        if isinstance(term, App) and term.op == op:
+            flat.extend(term.args)
+        else:
+            flat.append(term)
+    return flat
+
+
+def Not(formula: Term) -> Term:
+    """Negation, with double-negation and literal elimination."""
+    _require_bool(formula, "not")
+    if formula == TRUE:
+        return FALSE
+    if formula == FALSE:
+        return TRUE
+    if isinstance(formula, App) and formula.op == "not":
+        return formula.args[0]
+    return App("not", (formula,), BOOL)
+
+
+def Implies(antecedent: Term, consequent: Term) -> Term:
+    """Implication ``antecedent --> consequent``."""
+    _require_bool(antecedent, "implies")
+    _require_bool(consequent, "implies")
+    if antecedent == TRUE:
+        return consequent
+    if antecedent == FALSE or consequent == TRUE:
+        return TRUE
+    return App("implies", (antecedent, consequent), BOOL)
+
+
+def Iff(left: Term, right: Term) -> Term:
+    """Bi-implication ``left <-> right``."""
+    _require_bool(left, "iff")
+    _require_bool(right, "iff")
+    if left == right:
+        return TRUE
+    return App("iff", (left, right), BOOL)
+
+
+def Ite(cond: Term, then: Term, other: Term) -> Term:
+    """Conditional term ``if cond then ... else ...``."""
+    _require_bool(cond, "ite")
+    if then.sort != other.sort:
+        raise SortError(
+            f"ite branches must agree: {then.sort} vs {other.sort}"
+        )
+    if cond == TRUE:
+        return then
+    if cond == FALSE:
+        return other
+    return App("ite", (cond, then, other), then.sort)
+
+
+# ---------------------------------------------------------------------------
+# Equality and arithmetic
+# ---------------------------------------------------------------------------
+
+
+def Eq(left: Term, right: Term) -> Term:
+    """Polymorphic equality."""
+    if left.sort != right.sort:
+        raise SortError(f"equality between sorts {left.sort} and {right.sort}")
+    if left == right:
+        return TRUE
+    return App("eq", (left, right), BOOL)
+
+
+def Neq(left: Term, right: Term) -> Term:
+    """Disequality, encoded as negated equality."""
+    return Not(Eq(left, right))
+
+
+def _require_int(term: Term, context: str) -> Term:
+    if term.sort != INT:
+        raise SortError(f"{context} expects int, got {term.sort}")
+    return term
+
+
+def Plus(*terms: Term) -> Term:
+    """Integer addition (n-ary, flattened)."""
+    flat: list[Term] = []
+    for term in terms:
+        _require_int(term, "add")
+        if isinstance(term, App) and term.op == "add":
+            flat.extend(term.args)
+        else:
+            flat.append(term)
+    if not flat:
+        return IntLit(0)
+    if len(flat) == 1:
+        return flat[0]
+    return App("add", tuple(flat), INT)
+
+
+def Minus(left: Term, right: Term) -> Term:
+    """Integer subtraction."""
+    _require_int(left, "sub")
+    _require_int(right, "sub")
+    return App("sub", (left, right), INT)
+
+
+def Neg(term: Term) -> Term:
+    """Integer negation."""
+    _require_int(term, "neg")
+    return App("neg", (term,), INT)
+
+
+def Times(left: Term, right: Term) -> Term:
+    """Integer multiplication."""
+    _require_int(left, "mul")
+    _require_int(right, "mul")
+    return App("mul", (left, right), INT)
+
+
+def Div(left: Term, right: Term) -> Term:
+    """Integer (floor) division."""
+    _require_int(left, "div")
+    _require_int(right, "div")
+    return App("div", (left, right), INT)
+
+
+def Mod(left: Term, right: Term) -> Term:
+    """Integer modulus (used by the hash table's bucket computation)."""
+    _require_int(left, "mod")
+    _require_int(right, "mod")
+    return App("mod", (left, right), INT)
+
+
+def Lt(left: Term, right: Term) -> Term:
+    """Strict less-than."""
+    _require_int(left, "lt")
+    _require_int(right, "lt")
+    return App("lt", (left, right), BOOL)
+
+
+def Le(left: Term, right: Term) -> Term:
+    """Less-than-or-equal."""
+    _require_int(left, "le")
+    _require_int(right, "le")
+    return App("le", (left, right), BOOL)
+
+
+def Gt(left: Term, right: Term) -> Term:
+    """Strict greater-than (normalised to ``lt``)."""
+    return Lt(right, left)
+
+
+def Ge(left: Term, right: Term) -> Term:
+    """Greater-than-or-equal (normalised to ``le``)."""
+    return Le(right, left)
+
+
+# ---------------------------------------------------------------------------
+# Maps (fields, arrays)
+# ---------------------------------------------------------------------------
+
+
+def Select(map_term: Term, key: Term) -> Term:
+    """Read a map: ``map[key]``.
+
+    Java field reads ``x.f`` are encoded as ``Select(f, x)`` where ``f`` is a
+    global map-valued variable; array reads ``a[i]`` are encoded as
+    ``Select(Select(arrayState, a), i)``.
+    """
+    if not isinstance(map_term.sort, MapSort):
+        raise SortError(f"select expects a map, got {map_term.sort}")
+    if key.sort != map_term.sort.dom:
+        raise SortError(
+            f"select key sort {key.sort} does not match map domain {map_term.sort.dom}"
+        )
+    return App("select", (map_term, key), map_term.sort.ran)
+
+
+def Store(map_term: Term, key: Term, value: Term) -> Term:
+    """Functional map update: ``map[key := value]``."""
+    if not isinstance(map_term.sort, MapSort):
+        raise SortError(f"store expects a map, got {map_term.sort}")
+    if key.sort != map_term.sort.dom:
+        raise SortError(
+            f"store key sort {key.sort} does not match map domain {map_term.sort.dom}"
+        )
+    if value.sort != map_term.sort.ran:
+        raise SortError(
+            f"store value sort {value.sort} does not match map range {map_term.sort.ran}"
+        )
+    return App("store", (map_term, key, value), map_term.sort)
+
+
+def FieldRead(field: Term, obj: Term) -> Term:
+    """Read a field: ``obj.field`` -> ``Select(field, obj)``."""
+    return Select(field, obj)
+
+
+def ArrayRead(array_state: Term, array: Term, index: Term) -> Term:
+    """Read an array element ``array[index]`` through the global array state."""
+    return Select(Select(array_state, array), index)
+
+
+def ArrayWrite(array_state: Term, array: Term, index: Term, value: Term) -> Term:
+    """Functional update of the global array state at ``array[index]``."""
+    inner = Store(Select(array_state, array), index, value)
+    return Store(array_state, array, inner)
+
+
+# ---------------------------------------------------------------------------
+# Sets, relations and tuples
+# ---------------------------------------------------------------------------
+
+
+def EmptySet(elem_sort: Sort) -> Term:
+    """The empty set over ``elem_sort``."""
+    return App("setenum", (), SetSort(elem_sort))
+
+
+def SetEnum(*elems: Term) -> Term:
+    """A finite set literal ``{e1, ..., en}`` (all elements same sort)."""
+    if not elems:
+        raise ValueError("use EmptySet(sort) for the empty set literal")
+    elem_sort = elems[0].sort
+    for e in elems:
+        if e.sort != elem_sort:
+            raise SortError("set literal elements must share a sort")
+    return App("setenum", tuple(elems), SetSort(elem_sort))
+
+
+def Singleton(elem: Term) -> Term:
+    """The singleton set ``{elem}``."""
+    return SetEnum(elem)
+
+
+def _require_set(term: Term, context: str) -> SetSort:
+    if not isinstance(term.sort, SetSort):
+        raise SortError(f"{context} expects a set, got {term.sort}")
+    return term.sort
+
+
+def Union(left: Term, right: Term) -> Term:
+    """Set union."""
+    ls = _require_set(left, "union")
+    _require_set(right, "union")
+    if right.sort != left.sort:
+        raise SortError("union of sets over different element sorts")
+    return App("union", (left, right), ls)
+
+
+def Inter(left: Term, right: Term) -> Term:
+    """Set intersection."""
+    ls = _require_set(left, "inter")
+    if right.sort != left.sort:
+        raise SortError("intersection of sets over different element sorts")
+    return App("inter", (left, right), ls)
+
+
+def SetMinus(left: Term, right: Term) -> Term:
+    """Set difference."""
+    ls = _require_set(left, "setminus")
+    if right.sort != left.sort:
+        raise SortError("difference of sets over different element sorts")
+    return App("setminus", (left, right), ls)
+
+
+def Member(elem: Term, the_set: Term) -> Term:
+    """Set membership ``elem in the_set``."""
+    ss = _require_set(the_set, "member")
+    if elem.sort != ss.elem:
+        raise SortError(
+            f"member element sort {elem.sort} does not match set of {ss.elem}"
+        )
+    return App("member", (elem, the_set), BOOL)
+
+
+def NotMember(elem: Term, the_set: Term) -> Term:
+    """Negated membership."""
+    return Not(Member(elem, the_set))
+
+
+def SubsetEq(left: Term, right: Term) -> Term:
+    """Subset-or-equal."""
+    _require_set(left, "subseteq")
+    if right.sort != left.sort:
+        raise SortError("subset of sets over different element sorts")
+    return App("subseteq", (left, right), BOOL)
+
+
+def Card(the_set: Term) -> Term:
+    """Cardinality of a finite set."""
+    _require_set(the_set, "card")
+    return App("card", (the_set,), INT)
+
+
+def Tuple(*items: Term) -> Term:
+    """Tuple construction ``(e1, ..., en)``."""
+    if len(items) < 2:
+        raise ValueError("tuples need at least two components")
+    return App("tuple", tuple(items), TupleSort(tuple(i.sort for i in items)))
+
+
+def Proj(index: int, tup: Term) -> Term:
+    """Projection of the ``index``-th (0-based) component of a tuple."""
+    if not isinstance(tup.sort, TupleSort):
+        raise SortError(f"proj expects a tuple, got {tup.sort}")
+    if not 0 <= index < tup.sort.arity:
+        raise SortError(f"projection index {index} out of range")
+    return App("proj", (IntLit(index), tup), tup.sort.items[index])
+
+
+# ---------------------------------------------------------------------------
+# Binders
+# ---------------------------------------------------------------------------
+
+
+def _normalise_params(
+    params: Sequence[Var | tuple[str, Sort]]
+) -> tuple[tuple[str, Sort], ...]:
+    out: list[tuple[str, Sort]] = []
+    for p in params:
+        if isinstance(p, Var):
+            out.append((p.name, p.sort))
+        else:
+            name, sort = p
+            out.append((name, sort))
+    return tuple(out)
+
+
+def ForAll(params: Sequence[Var | tuple[str, Sort]] | Var, body: Term) -> Term:
+    """Universal quantification.  Collapses to the body when trivial."""
+    if isinstance(params, Var):
+        params = [params]
+    norm = _normalise_params(params)
+    if body in (TRUE, FALSE):
+        return body
+    return Binder(FORALL, norm, body)
+
+
+def Exists(params: Sequence[Var | tuple[str, Sort]] | Var, body: Term) -> Term:
+    """Existential quantification.  Collapses to the body when trivial."""
+    if isinstance(params, Var):
+        params = [params]
+    norm = _normalise_params(params)
+    if body in (TRUE, FALSE):
+        return body
+    return Binder(EXISTS, norm, body)
+
+
+def Lambda(params: Sequence[Var | tuple[str, Sort]] | Var, body: Term) -> Term:
+    """Lambda abstraction (used for map-valued specification variables)."""
+    if isinstance(params, Var):
+        params = [params]
+    return Binder(LAMBDA, _normalise_params(params), body)
+
+
+def Compr(params: Sequence[Var | tuple[str, Sort]] | Var, body: Term) -> Term:
+    """Set comprehension ``{params . body}``."""
+    if isinstance(params, Var):
+        params = [params]
+    return Binder(COMPREHENSION, _normalise_params(params), body)
+
+
+# ---------------------------------------------------------------------------
+# Miscellaneous helpers
+# ---------------------------------------------------------------------------
+
+
+def Old(term: Term) -> Term:
+    """Wrap a term in ``old(...)``; eliminated during lowering."""
+    return App("old", (term,), term.sort)
+
+
+def IntVar(name: str) -> Var:
+    """An integer variable."""
+    return Var(name, INT)
+
+
+def BoolVar(name: str) -> Var:
+    """A boolean variable."""
+    return Var(name, BOOL)
+
+
+def ObjVar(name: str) -> Var:
+    """An object (reference) variable."""
+    return Var(name, OBJ)
+
+
+def Int(value: int) -> IntLit:
+    """An integer literal."""
+    return IntLit(value)
+
+
+def Bool(value: bool) -> BoolLit:
+    """A boolean literal."""
+    return BoolLit(value)
+
+
+def Apply(name: str, args: Sequence[Term], result_sort: Sort) -> Term:
+    """Application of an uninterpreted function symbol."""
+    return App(name, tuple(args), result_sort)
+
+
+def conjuncts_of(formula: Term) -> list[Term]:
+    """Return the top-level conjuncts of a formula."""
+    if isinstance(formula, App) and formula.op == "and":
+        out: list[Term] = []
+        for arg in formula.args:
+            out.extend(conjuncts_of(arg))
+        return out
+    if formula == TRUE:
+        return []
+    return [formula]
+
+
+def disjuncts_of(formula: Term) -> list[Term]:
+    """Return the top-level disjuncts of a formula."""
+    if isinstance(formula, App) and formula.op == "or":
+        out: list[Term] = []
+        for arg in formula.args:
+            out.extend(disjuncts_of(arg))
+        return out
+    if formula == FALSE:
+        return []
+    return [formula]

@@ -1,0 +1,159 @@
+"""Negation normal form, prenexing and Skolemization.
+
+These transformations prepare formulas for the refutation-based provers:
+
+* :func:`eliminate_sugar` removes ``implies``, ``iff`` and boolean ``ite``;
+* :func:`to_nnf` pushes negations down to atoms;
+* :func:`skolemize` removes existential quantifiers from an NNF formula that
+  is being *assumed* (equivalently, from the negation of a proof goal),
+  replacing them by fresh Skolem constants/functions parameterised by the
+  enclosing universal variables;
+* :func:`prenex` hoists the remaining universal quantifiers to the front.
+"""
+
+from __future__ import annotations
+
+from . import builder as b
+from .sorts import BOOL, FunSort
+from .subst import FreshNameGenerator, substitute
+from .terms import (
+    COMPREHENSION,
+    EXISTS,
+    FORALL,
+    LAMBDA,
+    App,
+    Binder,
+    BoolLit,
+    Term,
+    Var,
+    free_vars,
+    function_symbols,
+)
+
+__all__ = ["eliminate_sugar", "to_nnf", "skolemize", "prenex", "matrix_of"]
+
+
+def eliminate_sugar(term: Term) -> Term:
+    """Rewrite ``implies``, ``iff`` and boolean ``ite`` into and/or/not."""
+    if isinstance(term, Binder):
+        return term.rebuild((eliminate_sugar(term.body),))
+    if not isinstance(term, App):
+        return term
+    args = tuple(eliminate_sugar(a) for a in term.args)
+    if term.op == "implies":
+        return b.Or(b.Not(args[0]), args[1])
+    if term.op == "iff":
+        return b.Or(b.And(args[0], args[1]), b.And(b.Not(args[0]), b.Not(args[1])))
+    if term.op == "ite" and term.sort == BOOL:
+        return b.Or(b.And(args[0], args[1]), b.And(b.Not(args[0]), args[2]))
+    return term.rebuild(args)
+
+
+def to_nnf(term: Term) -> Term:
+    """Negation normal form of a formula (after :func:`eliminate_sugar`)."""
+    return _nnf(eliminate_sugar(term), positive=True)
+
+
+def _nnf(term: Term, positive: bool) -> Term:
+    if isinstance(term, BoolLit):
+        return term if positive else b.Bool(not term.value)
+    if isinstance(term, App):
+        op = term.op
+        if op == "not":
+            return _nnf(term.args[0], not positive)
+        if op == "and":
+            parts = [_nnf(a, positive) for a in term.args]
+            return b.And(*parts) if positive else b.Or(*parts)
+        if op == "or":
+            parts = [_nnf(a, positive) for a in term.args]
+            return b.Or(*parts) if positive else b.And(*parts)
+        return term if positive else b.Not(term)
+    if isinstance(term, Binder) and term.kind in (FORALL, EXISTS):
+        body = _nnf(term.body, positive)
+        kind = term.kind
+        if not positive:
+            kind = EXISTS if kind == FORALL else FORALL
+        return Binder(kind, term.params, body)
+    return term if positive else b.Not(term)
+
+
+def skolemize(term: Term, fresh: FreshNameGenerator | None = None) -> Term:
+    """Skolemize an NNF formula (existentials replaced by Skolem terms).
+
+    The result is equisatisfiable with the input.  Existential variables that
+    occur under universal quantifiers become applications of fresh Skolem
+    function symbols to the enclosing universal variables; outer existentials
+    become fresh constants.
+    """
+    if fresh is None:
+        used = {v.name for v in free_vars(term)} | set(function_symbols(term))
+        fresh = FreshNameGenerator(used)
+    return _skolemize(term, (), fresh)
+
+
+def _skolemize(term: Term, universals: tuple[Var, ...], fresh: FreshNameGenerator) -> Term:
+    if isinstance(term, Binder) and term.kind == FORALL:
+        params = term.param_vars
+        body = _skolemize(term.body, universals + params, fresh)
+        return Binder(FORALL, term.params, body)
+    if isinstance(term, Binder) and term.kind == EXISTS:
+        mapping: dict[Var, Term] = {}
+        for name, sort in term.params:
+            skolem_name = fresh.fresh(f"sk_{name}")
+            if universals:
+                skolem: Term = App(
+                    skolem_name, tuple(universals), sort
+                )
+            else:
+                skolem = App(skolem_name, (), sort)
+            mapping[Var(name, sort)] = skolem
+        body = substitute(term.body, mapping)
+        return _skolemize(body, universals, fresh)
+    if isinstance(term, App) and term.op in ("and", "or"):
+        args = tuple(_skolemize(a, universals, fresh) for a in term.args)
+        return term.rebuild(args)
+    return term
+
+
+def prenex(term: Term) -> Term:
+    """Hoist universal quantifiers of a Skolemized NNF formula to the front."""
+    matrix, variables = matrix_of(term)
+    if not variables:
+        return matrix
+    # Deduplicate parameters by name while preserving order.
+    seen: set[str] = set()
+    params: list[tuple[str, object]] = []
+    for var in variables:
+        if var.name not in seen:
+            seen.add(var.name)
+            params.append((var.name, var.sort))
+    return Binder(FORALL, tuple(params), matrix)
+
+
+def matrix_of(term: Term) -> tuple[Term, list[Var]]:
+    """Strip outer/inner universal quantifiers of a Skolemized NNF formula.
+
+    Bound variables are renamed apart so the returned matrix together with
+    the variable list represents the same universally quantified formula.
+    """
+    used = {v.name for v in free_vars(term)}
+    fresh = FreshNameGenerator(used)
+    collected: list[Var] = []
+    matrix = _pull(term, fresh, collected)
+    return matrix, collected
+
+
+def _pull(term: Term, fresh: FreshNameGenerator, collected: list[Var]) -> Term:
+    if isinstance(term, Binder) and term.kind == FORALL:
+        mapping: dict[Var, Term] = {}
+        for name, sort in term.params:
+            new_name = fresh.fresh(name)
+            new_var = Var(new_name, sort)
+            mapping[Var(name, sort)] = new_var
+            collected.append(new_var)
+        body = substitute(term.body, mapping)
+        return _pull(body, fresh, collected)
+    if isinstance(term, App) and term.op in ("and", "or"):
+        args = tuple(_pull(a, fresh, collected) for a in term.args)
+        return term.rebuild(args)
+    return term

@@ -1,0 +1,927 @@
+"""Parser for the ASCII formula notation.
+
+The concrete syntax follows Jahob's ASCII input notation (an Isabelle/HOL
+inspired syntax).  Examples::
+
+    ALL j. 0 <= j & j < index --> o ~= elements[j]
+    EX i. (i, o) in old_content & ~(EX j. j < i & (j, o) in old_content)
+    content = {(i, n). 0 <= i & i < size & n = arraystate[elements][i]}
+    card nodes <= csize
+
+The parser performs sort elaboration: known free variables and function
+symbols take their sorts from an *environment* mapping names to sorts, and
+unannotated bound variables are inferred by unification.  Bound variables
+may also be annotated explicitly (``ALL x : obj. ...``).
+
+The module exposes :func:`parse_formula`, :func:`parse_term` and
+:func:`parse_sort`.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from . import builder as b
+from .sorts import (
+    BOOL,
+    INT,
+    OBJ,
+    FunSort,
+    MapSort,
+    SetSort,
+    Sort,
+    SortError,
+    TupleSort,
+)
+from .terms import App, Const, Term, Var
+
+__all__ = ["ParseError", "parse_formula", "parse_term", "parse_sort"]
+
+
+class ParseError(ValueError):
+    """Raised when a formula or sort cannot be parsed or elaborated."""
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<int>\d+)
+  | (?P<op><->|-->|:=|<=|>=|~=|~in\b|[=<>+\-*&|~.,(){}\[\]:#\\])
+  | (?P<name>[A-Za-z_][A-Za-z_0-9']*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "ALL",
+    "EX",
+    "lam",
+    "true",
+    "false",
+    "null",
+    "in",
+    "Un",
+    "Int",
+    "subseteq",
+    "card",
+    "old",
+    "div",
+    "mod",
+    "if",
+    "then",
+    "else",
+    "int",
+    "bool",
+    "obj",
+    "set",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "int", "op", "name", "kw", "eof"
+    text: str
+    pos: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens, raising :class:`ParseError` on junk."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        kind = match.lastgroup or "op"
+        value = match.group()
+        if kind == "name" and value in _KEYWORDS:
+            kind = "kw"
+        tokens.append(Token(kind, value, match.start()))
+    tokens.append(Token("eof", "", len(text)))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Sort holes and unification
+# ---------------------------------------------------------------------------
+
+
+class _Hole:
+    """A unification variable standing for an unknown sort."""
+
+    __slots__ = ("binding",)
+
+    def __init__(self) -> None:
+        self.binding: object | None = None  # Sort | _Hole | composite
+
+
+def _resolve(sort: object) -> object:
+    while isinstance(sort, _Hole) and sort.binding is not None:
+        sort = sort.binding
+    if isinstance(sort, tuple):
+        tag = sort[0]
+        if tag == "set":
+            return ("set", _resolve(sort[1]))
+        if tag == "map":
+            return ("map", _resolve(sort[1]), _resolve(sort[2]))
+        if tag == "tuple":
+            return ("tuple", tuple(_resolve(s) for s in sort[1]))
+    return sort
+
+
+def _lift(sort: Sort) -> object:
+    """Lift a concrete sort into the hole representation."""
+    if isinstance(sort, SetSort):
+        return ("set", _lift(sort.elem))
+    if isinstance(sort, MapSort):
+        return ("map", _lift(sort.dom), _lift(sort.ran))
+    if isinstance(sort, TupleSort):
+        return ("tuple", tuple(_lift(s) for s in sort.items))
+    return sort
+
+
+def _lower(sort: object, default: Sort = OBJ) -> Sort:
+    """Convert a (resolved) hole representation back to a concrete sort."""
+    sort = _resolve(sort)
+    if isinstance(sort, _Hole):
+        return default
+    if isinstance(sort, tuple):
+        tag = sort[0]
+        if tag == "set":
+            return SetSort(_lower(sort[1], default))
+        if tag == "map":
+            return MapSort(_lower(sort[1], default), _lower(sort[2], default))
+        if tag == "tuple":
+            return TupleSort(tuple(_lower(s, default) for s in sort[1]))
+    assert isinstance(sort, Sort)
+    return sort
+
+
+def _unify(left: object, right: object, where: str) -> None:
+    left = _resolve(left)
+    right = _resolve(right)
+    if left is right:
+        return
+    if isinstance(left, _Hole):
+        left.binding = right
+        return
+    if isinstance(right, _Hole):
+        right.binding = left
+        return
+    if isinstance(left, tuple) and isinstance(right, tuple) and left[0] == right[0]:
+        if left[0] == "set":
+            _unify(left[1], right[1], where)
+            return
+        if left[0] == "map":
+            _unify(left[1], right[1], where)
+            _unify(left[2], right[2], where)
+            return
+        if left[0] == "tuple":
+            if len(left[1]) != len(right[1]):
+                raise ParseError(f"tuple arity mismatch in {where}")
+            for l_item, r_item in zip(left[1], right[1]):
+                _unify(l_item, r_item, where)
+            return
+    if isinstance(left, Sort) and isinstance(right, Sort) and left == right:
+        return
+    raise ParseError(
+        f"sort mismatch in {where}: {_describe(left)} vs {_describe(right)}"
+    )
+
+
+def _describe(sort: object) -> str:
+    sort = _resolve(sort)
+    if isinstance(sort, _Hole):
+        return "?"
+    if isinstance(sort, tuple):
+        if sort[0] == "set":
+            return f"({_describe(sort[1])}) set"
+        if sort[0] == "map":
+            return f"({_describe(sort[1])} => {_describe(sort[2])})"
+        if sort[0] == "tuple":
+            return "(" + " * ".join(_describe(s) for s in sort[1]) + ")"
+    return str(sort)
+
+
+# ---------------------------------------------------------------------------
+# Surface syntax tree
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SNode:
+    """Surface syntax node: an operator with children and optional payload."""
+
+    op: str
+    children: list["SNode"] = field(default_factory=list)
+    name: str | None = None
+    value: int | None = None
+    binders: list[tuple[str, Sort | None]] = field(default_factory=list)
+    sort_cell: object = None  # assigned during elaboration
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], text: str) -> None:
+        self.tokens = tokens
+        self.text = text
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.at(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            actual = self.peek()
+            wanted = text or kind
+            raise ParseError(
+                f"expected {wanted!r} but found {actual.text!r} at offset "
+                f"{actual.pos} in {self.text!r}"
+            )
+        return token
+
+    # -- sorts ---------------------------------------------------------------
+
+    def parse_sort(self) -> Sort:
+        left = self.parse_product_sort()
+        if self.accept("op", "="):
+            # '=>' arrives as '=' followed by '>' tokens
+            self.expect("op", ">")
+            right = self.parse_sort()
+            return MapSort(left, right)
+        return left
+
+    def parse_product_sort(self) -> Sort:
+        items = [self.parse_postfix_sort()]
+        while self.accept("op", "*"):
+            items.append(self.parse_postfix_sort())
+        if len(items) == 1:
+            return items[0]
+        return TupleSort(tuple(items))
+
+    def parse_postfix_sort(self) -> Sort:
+        sort = self.parse_base_sort()
+        while self.at("kw", "set"):
+            self.advance()
+            sort = SetSort(sort)
+        return sort
+
+    def parse_base_sort(self) -> Sort:
+        if self.accept("kw", "int"):
+            return INT
+        if self.accept("kw", "bool"):
+            return BOOL
+        if self.accept("kw", "obj"):
+            return OBJ
+        if self.accept("op", "("):
+            sort = self.parse_sort()
+            self.expect("op", ")")
+            return sort
+        token = self.peek()
+        raise ParseError(f"expected a sort at offset {token.pos} in {self.text!r}")
+
+    # -- binders --------------------------------------------------------------
+
+    def parse_binder_list(self) -> list[tuple[str, Sort | None]]:
+        binders: list[tuple[str, Sort | None]] = []
+        while True:
+            if self.accept("op", "("):
+                # (x : sort) or (x, y, ...) possibly with sorts
+                while True:
+                    name = self.expect("name").text
+                    sort: Sort | None = None
+                    if self.accept("op", ":"):
+                        sort = self.parse_sort()
+                    binders.append((name, sort))
+                    if not self.accept("op", ","):
+                        break
+                self.expect("op", ")")
+            elif self.at("name"):
+                name = self.advance().text
+                sort = None
+                if self.accept("op", ":"):
+                    sort = self.parse_sort()
+                binders.append((name, sort))
+            else:
+                break
+            self.accept("op", ",")
+            if self.at("op", "."):
+                break
+        if not binders:
+            token = self.peek()
+            raise ParseError(
+                f"expected bound variables at offset {token.pos} in {self.text!r}"
+            )
+        return binders
+
+    # -- formulas -------------------------------------------------------------
+
+    def parse_formula(self) -> SNode:
+        return self.parse_iff()
+
+    def parse_iff(self) -> SNode:
+        left = self.parse_implies()
+        while self.accept("op", "<->"):
+            right = self.parse_implies()
+            left = SNode("iff", [left, right])
+        return left
+
+    def parse_implies(self) -> SNode:
+        left = self.parse_or()
+        if self.accept("op", "-->"):
+            right = self.parse_implies()
+            return SNode("implies", [left, right])
+        return left
+
+    def parse_or(self) -> SNode:
+        left = self.parse_and()
+        while self.accept("op", "|"):
+            right = self.parse_and()
+            left = SNode("or", [left, right])
+        return left
+
+    def parse_and(self) -> SNode:
+        left = self.parse_not()
+        while self.accept("op", "&"):
+            right = self.parse_not()
+            left = SNode("and", [left, right])
+        return left
+
+    def parse_not(self) -> SNode:
+        if self.accept("op", "~"):
+            return SNode("not", [self.parse_not()])
+        return self.parse_quantified()
+
+    def parse_quantified(self) -> SNode:
+        for keyword, op in (("ALL", "forall"), ("EX", "exists"), ("lam", "lambda")):
+            if self.at("kw", keyword):
+                self.advance()
+                binders = self.parse_binder_list()
+                self.expect("op", ".")
+                body = self.parse_formula()
+                node = SNode(op, [body])
+                node.binders = binders
+                return node
+        if self.at("kw", "if"):
+            self.advance()
+            cond = self.parse_formula()
+            self.expect("kw", "then")
+            then = self.parse_formula()
+            self.expect("kw", "else")
+            other = self.parse_formula()
+            return SNode("ite", [cond, then, other])
+        return self.parse_comparison()
+
+    _RELOPS = {
+        "=": "eq",
+        "~=": "neq",
+        "<": "lt",
+        "<=": "le",
+        ">": "gt",
+        ">=": "ge",
+    }
+
+    def parse_comparison(self) -> SNode:
+        left = self.parse_sum()
+        token = self.peek()
+        if token.kind == "op" and token.text in self._RELOPS:
+            self.advance()
+            right = self.parse_sum()
+            return SNode(self._RELOPS[token.text], [left, right])
+        if token.kind == "kw" and token.text == "in":
+            self.advance()
+            right = self.parse_sum()
+            return SNode("member", [left, right])
+        if token.kind == "op" and token.text == "~in":
+            self.advance()
+            right = self.parse_sum()
+            return SNode("notmember", [left, right])
+        if token.kind == "kw" and token.text == "subseteq":
+            self.advance()
+            right = self.parse_sum()
+            return SNode("subseteq", [left, right])
+        return left
+
+    def parse_sum(self) -> SNode:
+        left = self.parse_product()
+        while True:
+            if self.accept("op", "+"):
+                left = SNode("add", [left, self.parse_product()])
+            elif self.accept("op", "-"):
+                left = SNode("sub", [left, self.parse_product()])
+            elif self.accept("kw", "Un"):
+                left = SNode("union", [left, self.parse_product()])
+            elif self.accept("op", "\\"):
+                left = SNode("setminus", [left, self.parse_product()])
+            else:
+                return left
+
+    def parse_product(self) -> SNode:
+        left = self.parse_unary()
+        while True:
+            if self.accept("op", "*"):
+                left = SNode("mul", [left, self.parse_unary()])
+            elif self.accept("kw", "div"):
+                left = SNode("div", [left, self.parse_unary()])
+            elif self.accept("kw", "mod"):
+                left = SNode("mod", [left, self.parse_unary()])
+            elif self.accept("kw", "Int"):
+                left = SNode("inter", [left, self.parse_unary()])
+            else:
+                return left
+
+    def parse_unary(self) -> SNode:
+        if self.accept("op", "-"):
+            return SNode("neg", [self.parse_unary()])
+        if self.accept("kw", "card"):
+            return SNode("card", [self.parse_unary()])
+        if self.accept("kw", "old"):
+            return SNode("old", [self.parse_unary()])
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> SNode:
+        node = self.parse_atom()
+        while True:
+            if self.accept("op", "["):
+                key = self.parse_formula()
+                if self.accept("op", ":="):
+                    value = self.parse_formula()
+                    self.expect("op", "]")
+                    node = SNode("store", [node, key, value])
+                else:
+                    self.expect("op", "]")
+                    node = SNode("select", [node, key])
+            elif self.accept("op", "#"):
+                index = self.expect("int")
+                node = SNode("proj", [node], value=int(index.text))
+            else:
+                return node
+
+    def parse_atom(self) -> SNode:
+        token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            return SNode("int", value=int(token.text))
+        if token.kind == "kw" and token.text in ("true", "false"):
+            self.advance()
+            return SNode("bool", value=1 if token.text == "true" else 0)
+        if token.kind == "kw" and token.text == "null":
+            self.advance()
+            return SNode("null")
+        if token.kind == "name":
+            self.advance()
+            if self.accept("op", "("):
+                args: list[SNode] = []
+                if not self.at("op", ")"):
+                    args.append(self.parse_formula())
+                    while self.accept("op", ","):
+                        args.append(self.parse_formula())
+                self.expect("op", ")")
+                return SNode("call", args, name=token.text)
+            return SNode("var", name=token.text)
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            first = self.parse_formula()
+            if self.accept("op", ","):
+                items = [first, self.parse_formula()]
+                while self.accept("op", ","):
+                    items.append(self.parse_formula())
+                self.expect("op", ")")
+                return SNode("tuple", items)
+            self.expect("op", ")")
+            return first
+        if token.kind == "op" and token.text == "{":
+            return self.parse_braces()
+        raise ParseError(
+            f"unexpected token {token.text!r} at offset {token.pos} in {self.text!r}"
+        )
+
+    def parse_braces(self) -> SNode:
+        self.expect("op", "{")
+        if self.accept("op", "}"):
+            return SNode("emptyset")
+        # Try a comprehension first: binder list followed by '.'.
+        saved = self.pos
+        try:
+            binders = self.parse_binder_list()
+            if self.accept("op", "."):
+                body = self.parse_formula()
+                self.expect("op", "}")
+                node = SNode("compr", [body])
+                node.binders = binders
+                return node
+        except ParseError:
+            pass
+        self.pos = saved
+        elems = [self.parse_formula()]
+        while self.accept("op", ","):
+            elems.append(self.parse_formula())
+        self.expect("op", "}")
+        return SNode("setenum", elems)
+
+
+# ---------------------------------------------------------------------------
+# Elaboration (surface -> typed terms)
+# ---------------------------------------------------------------------------
+
+
+class _Scope:
+    """Lexical scope mapping bound variable names to sort cells."""
+
+    def __init__(self, parent: "_Scope | None" = None) -> None:
+        self.parent = parent
+        self.bindings: dict[str, object] = {}
+
+    def lookup(self, name: str) -> object | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.bindings:
+                return scope.bindings[name]
+            scope = scope.parent
+        return None
+
+
+class _Elaborator:
+    """Infers sorts (pass 1) and builds typed terms (pass 2)."""
+
+    def __init__(
+        self,
+        env: Mapping[str, Sort],
+        functions: Mapping[str, FunSort],
+        default_sort: Sort,
+        strict: bool,
+    ) -> None:
+        self.env = dict(env)
+        self.functions = dict(functions)
+        self.default_sort = default_sort
+        self.strict = strict
+        self.unknown: dict[str, _Hole] = {}
+
+    # -- pass 1: sort inference ---------------------------------------------
+
+    def infer(self, node: SNode, scope: _Scope) -> object:
+        cell = self._infer(node, scope)
+        node.sort_cell = cell
+        return cell
+
+    def _name_sort(self, name: str, scope: _Scope) -> object:
+        bound = scope.lookup(name)
+        if bound is not None:
+            return bound
+        if name in self.env:
+            return _lift(self.env[name])
+        if self.strict:
+            raise ParseError(f"unknown identifier {name!r}")
+        hole = self.unknown.setdefault(name, _Hole())
+        return hole
+
+    def _infer(self, node: SNode, scope: _Scope) -> object:
+        op = node.op
+        if op == "int":
+            return INT
+        if op == "bool":
+            return BOOL
+        if op == "null":
+            return OBJ
+        if op == "var":
+            assert node.name is not None
+            return self._name_sort(node.name, scope)
+        if op == "call":
+            assert node.name is not None
+            signature = self.functions.get(node.name)
+            arg_cells = [self.infer(arg, scope) for arg in node.children]
+            if signature is None:
+                if self.strict:
+                    raise ParseError(f"unknown function {node.name!r}")
+                return self.unknown.setdefault(f"{node.name}()", _Hole())
+            if len(signature.args) != len(node.children):
+                raise ParseError(
+                    f"function {node.name!r} expects {len(signature.args)} "
+                    f"arguments, got {len(node.children)}"
+                )
+            for cell, expected in zip(arg_cells, signature.args):
+                _unify(cell, _lift(expected), f"argument of {node.name}")
+            return _lift(signature.ran)
+        if op in ("and", "or", "implies", "iff"):
+            for child in node.children:
+                _unify(self.infer(child, scope), BOOL, op)
+            return BOOL
+        if op == "not":
+            _unify(self.infer(node.children[0], scope), BOOL, op)
+            return BOOL
+        if op == "ite":
+            cond, then, other = node.children
+            _unify(self.infer(cond, scope), BOOL, "ite condition")
+            then_cell = self.infer(then, scope)
+            other_cell = self.infer(other, scope)
+            _unify(then_cell, other_cell, "ite branches")
+            return then_cell
+        if op in ("eq", "neq"):
+            left = self.infer(node.children[0], scope)
+            right = self.infer(node.children[1], scope)
+            _unify(left, right, "equality")
+            return BOOL
+        if op in ("lt", "le", "gt", "ge"):
+            for child in node.children:
+                _unify(self.infer(child, scope), INT, op)
+            return BOOL
+        if op in ("add", "sub", "mul", "div", "mod", "neg"):
+            for child in node.children:
+                _unify(self.infer(child, scope), INT, op)
+            return INT
+        if op in ("member", "notmember"):
+            elem = self.infer(node.children[0], scope)
+            the_set = self.infer(node.children[1], scope)
+            _unify(the_set, ("set", elem), "membership")
+            return BOOL
+        if op == "subseteq":
+            left = self.infer(node.children[0], scope)
+            right = self.infer(node.children[1], scope)
+            elem = _Hole()
+            _unify(left, ("set", elem), "subseteq")
+            _unify(right, ("set", elem), "subseteq")
+            return BOOL
+        if op in ("union", "inter", "setminus"):
+            left = self.infer(node.children[0], scope)
+            right = self.infer(node.children[1], scope)
+            elem = _Hole()
+            _unify(left, ("set", elem), op)
+            _unify(right, ("set", elem), op)
+            return ("set", elem)
+        if op == "card":
+            elem = _Hole()
+            _unify(self.infer(node.children[0], scope), ("set", elem), "card")
+            return INT
+        if op == "setenum":
+            elem = _Hole()
+            for child in node.children:
+                _unify(self.infer(child, scope), elem, "set literal")
+            return ("set", elem)
+        if op == "emptyset":
+            return ("set", _Hole())
+        if op == "tuple":
+            cells = tuple(self.infer(child, scope) for child in node.children)
+            return ("tuple", cells)
+        if op == "proj":
+            cell = self.infer(node.children[0], scope)
+            resolved = _resolve(cell)
+            if isinstance(resolved, tuple) and resolved[0] == "tuple":
+                assert node.value is not None
+                if node.value >= len(resolved[1]):
+                    raise ParseError("projection index out of range")
+                return resolved[1][node.value]
+            return _Hole()
+        if op == "select":
+            base = self.infer(node.children[0], scope)
+            key = self.infer(node.children[1], scope)
+            ran = _Hole()
+            _unify(base, ("map", key, ran), "select")
+            return ran
+        if op == "store":
+            base = self.infer(node.children[0], scope)
+            key = self.infer(node.children[1], scope)
+            value = self.infer(node.children[2], scope)
+            _unify(base, ("map", key, value), "store")
+            return base
+        if op == "old":
+            return self.infer(node.children[0], scope)
+        if op in ("forall", "exists", "lambda", "compr"):
+            inner = _Scope(scope)
+            cells: list[object] = []
+            for name, sort in node.binders:
+                cell: object = _lift(sort) if sort is not None else _Hole()
+                inner.bindings[name] = cell
+                cells.append(cell)
+            # Stash the cells so the term-construction pass can read the
+            # resolved sorts of unannotated bound variables.
+            node.binders_cells = cells  # type: ignore[attr-defined]
+            body_cell = self.infer(node.children[0], inner)
+            if op in ("forall", "exists", "compr"):
+                _unify(body_cell, BOOL, op)
+            if op in ("forall", "exists"):
+                return BOOL
+            elem: object
+            elem = cells[0] if len(cells) == 1 else ("tuple", tuple(cells))
+            if op == "compr":
+                return ("set", elem)
+            return ("map", elem, body_cell)
+        raise ParseError(f"unknown surface node {op!r}")
+
+    # -- pass 2: term construction -------------------------------------------
+
+    def build(self, node: SNode, scope: dict[str, Var]) -> Term:
+        op = node.op
+        if op == "int":
+            assert node.value is not None
+            return b.Int(node.value)
+        if op == "bool":
+            return b.Bool(bool(node.value))
+        if op == "null":
+            return Const("null", OBJ)
+        if op == "var":
+            assert node.name is not None
+            if node.name in scope:
+                return scope[node.name]
+            if node.name in self.env:
+                return Var(node.name, self.env[node.name])
+            hole = self.unknown.get(node.name)
+            sort = _lower(hole, self.default_sort) if hole else self.default_sort
+            return Var(node.name, sort)
+        if op == "call":
+            assert node.name is not None
+            args = [self.build(child, scope) for child in node.children]
+            signature = self.functions.get(node.name)
+            result = signature.ran if signature else self.default_sort
+            return App(node.name, tuple(args), result)
+        if op in ("forall", "exists", "lambda", "compr"):
+            inner_scope = dict(scope)
+            params: list[Var] = []
+            # Binder sort cells were resolved during pass 1; read back the
+            # inferred sorts of unannotated bound variables.
+            cells = node.binders_cells  # type: ignore[attr-defined]
+            for (name, annotated), cell in zip(node.binders, cells):
+                sort = annotated if annotated is not None else _lower(
+                    cell, self.default_sort
+                )
+                var = Var(name, sort)
+                params.append(var)
+                inner_scope[name] = var
+            body = self.build(node.children[0], inner_scope)
+            if op == "forall":
+                return b.ForAll(params, body)
+            if op == "exists":
+                return b.Exists(params, body)
+            if op == "lambda":
+                return b.Lambda(params, body)
+            return b.Compr(params, body)
+        children = [self.build(child, scope) for child in node.children]
+        if op == "and":
+            return b.And(*children)
+        if op == "or":
+            return b.Or(*children)
+        if op == "not":
+            return b.Not(children[0])
+        if op == "implies":
+            return b.Implies(children[0], children[1])
+        if op == "iff":
+            return b.Iff(children[0], children[1])
+        if op == "ite":
+            return b.Ite(children[0], children[1], children[2])
+        if op == "eq":
+            return b.Eq(children[0], children[1])
+        if op == "neq":
+            return b.Neq(children[0], children[1])
+        if op == "lt":
+            return b.Lt(children[0], children[1])
+        if op == "le":
+            return b.Le(children[0], children[1])
+        if op == "gt":
+            return b.Gt(children[0], children[1])
+        if op == "ge":
+            return b.Ge(children[0], children[1])
+        if op == "add":
+            return b.Plus(*children)
+        if op == "sub":
+            return b.Minus(children[0], children[1])
+        if op == "neg":
+            return b.Neg(children[0])
+        if op == "mul":
+            return b.Times(children[0], children[1])
+        if op == "div":
+            return b.Div(children[0], children[1])
+        if op == "mod":
+            return b.Mod(children[0], children[1])
+        if op == "member":
+            return b.Member(children[0], children[1])
+        if op == "notmember":
+            return b.NotMember(children[0], children[1])
+        if op == "subseteq":
+            return b.SubsetEq(children[0], children[1])
+        if op == "union":
+            return b.Union(children[0], children[1])
+        if op == "inter":
+            return b.Inter(children[0], children[1])
+        if op == "setminus":
+            return b.SetMinus(children[0], children[1])
+        if op == "card":
+            return b.Card(children[0])
+        if op == "setenum":
+            return b.SetEnum(*children)
+        if op == "emptyset":
+            elem = _lower(node.sort_cell, self.default_sort)
+            assert isinstance(elem, SetSort)
+            return b.EmptySet(elem.elem)
+        if op == "tuple":
+            return b.Tuple(*children)
+        if op == "proj":
+            assert node.value is not None
+            return b.Proj(node.value, children[0])
+        if op == "select":
+            return b.Select(children[0], children[1])
+        if op == "store":
+            return b.Store(children[0], children[1], children[2])
+        if op == "old":
+            return b.Old(children[0])
+        raise ParseError(f"unknown surface node {op!r}")
+
+
+def parse_formula(
+    text: str,
+    env: Mapping[str, Sort] | None = None,
+    functions: Mapping[str, FunSort] | None = None,
+    default_sort: Sort = OBJ,
+    strict: bool = False,
+) -> Term:
+    """Parse a formula (a term of sort ``bool``).
+
+    ``env`` maps free variable names to sorts, ``functions`` maps
+    uninterpreted function names to their :class:`~repro.logic.sorts.FunSort`.
+    Unknown identifiers default to ``default_sort`` unless ``strict`` is set,
+    in which case they raise :class:`ParseError`.
+    """
+    term = parse_term(text, env, functions, default_sort, strict)
+    if term.sort != BOOL:
+        raise ParseError(f"expected a formula, got a term of sort {term.sort}")
+    return term
+
+
+def parse_term(
+    text: str,
+    env: Mapping[str, Sort] | None = None,
+    functions: Mapping[str, FunSort] | None = None,
+    default_sort: Sort = OBJ,
+    strict: bool = False,
+) -> Term:
+    """Parse a term of any sort."""
+    tokens = tokenize(text)
+    parser = _Parser(tokens, text)
+    surface = parser.parse_formula()
+    if not parser.at("eof"):
+        extra = parser.peek()
+        raise ParseError(
+            f"unexpected trailing input {extra.text!r} at offset {extra.pos} "
+            f"in {text!r}"
+        )
+    elab = _Elaborator(env or {}, functions or {}, default_sort, strict)
+    _attach_binder_cells(surface)
+    try:
+        elab.infer(surface, _Scope())
+    except SortError as exc:  # surface-level sort issues become parse errors
+        raise ParseError(str(exc)) from exc
+    try:
+        return elab.build(surface, {})
+    except SortError as exc:
+        raise ParseError(str(exc)) from exc
+
+
+def _attach_binder_cells(node: SNode) -> None:
+    """Prepare binder nodes so pass 1 can stash per-binder sort cells."""
+    if node.op in ("forall", "exists", "lambda", "compr"):
+        node.binders_cells = []  # type: ignore[attr-defined]
+    for child in node.children:
+        _attach_binder_cells(child)
+
+
+def parse_sort(text: str) -> Sort:
+    """Parse a sort such as ``int``, ``obj set`` or ``(int * obj) set``."""
+    tokens = tokenize(text)
+    parser = _Parser(tokens, text)
+    sort = parser.parse_sort()
+    if not parser.at("eof"):
+        extra = parser.peek()
+        raise ParseError(
+            f"unexpected trailing input {extra.text!r} in sort {text!r}"
+        )
+    return sort

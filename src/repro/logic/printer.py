@@ -1,0 +1,238 @@
+"""Pretty printers for the specification logic.
+
+Two renderings are provided:
+
+* :func:`to_ascii` -- a parseable ASCII notation (the inverse of
+  :mod:`repro.logic.parser`), in the spirit of Jahob's X-Symbol ASCII input
+  syntax;
+* :func:`to_unicode` -- mathematical notation (``∀``, ``∈``, ``∧``, ...)
+  matching the way formulas are displayed in the paper.
+"""
+
+from __future__ import annotations
+
+from .terms import (
+    COMPREHENSION,
+    EXISTS,
+    FORALL,
+    LAMBDA,
+    App,
+    Binder,
+    BoolLit,
+    Const,
+    IntLit,
+    Term,
+    Var,
+)
+
+# Precedence levels (higher binds tighter).
+_PREC_IFF = 10
+_PREC_IMPLIES = 20
+_PREC_OR = 30
+_PREC_AND = 40
+_PREC_NOT = 50
+_PREC_CMP = 60
+_PREC_ADD = 70
+_PREC_MUL = 80
+_PREC_UNARY = 90
+_PREC_POSTFIX = 100
+_PREC_ATOM = 110
+
+
+class _Style:
+    """Rendering style: tokens used for each operator."""
+
+    def __init__(self, unicode: bool) -> None:
+        if unicode:
+            self.and_tok = " ∧ "
+            self.or_tok = " ∨ "
+            self.not_tok = "¬"
+            self.implies_tok = " → "
+            self.iff_tok = " ↔ "
+            self.forall_tok = "∀"
+            self.exists_tok = "∃"
+            self.member_tok = " ∈ "
+            self.union_tok = " ∪ "
+            self.inter_tok = " ∩ "
+            self.setminus_tok = " ∖ "
+            self.subseteq_tok = " ⊆ "
+            self.le_tok = " ≤ "
+            self.neq_tok = " ≠ "
+            self.lambda_tok = "λ"
+        else:
+            self.and_tok = " & "
+            self.or_tok = " | "
+            self.not_tok = "~"
+            self.implies_tok = " --> "
+            self.iff_tok = " <-> "
+            self.forall_tok = "ALL "
+            self.exists_tok = "EX "
+            self.member_tok = " in "
+            self.union_tok = " Un "
+            self.inter_tok = " Int "
+            self.setminus_tok = " \\ "
+            self.subseteq_tok = " subseteq "
+            self.le_tok = " <= "
+            self.neq_tok = " ~= "
+            self.lambda_tok = "lam "
+
+
+_ASCII = _Style(unicode=False)
+_UNICODE = _Style(unicode=True)
+
+
+def to_ascii(term: Term) -> str:
+    """Render ``term`` in the parseable ASCII notation."""
+    return _render(term, _ASCII, 0)
+
+
+def to_unicode(term: Term) -> str:
+    """Render ``term`` in mathematical (unicode) notation."""
+    return _render(term, _UNICODE, 0)
+
+
+def _paren(text: str, prec: int, outer: int) -> str:
+    return f"({text})" if prec < outer else text
+
+
+def _render(term: Term, style: _Style, outer: int) -> str:
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Const):
+        return term.name
+    if isinstance(term, IntLit):
+        if term.value < 0:
+            return _paren(str(term.value), _PREC_UNARY, outer)
+        return str(term.value)
+    if isinstance(term, BoolLit):
+        return "true" if term.value else "false"
+    if isinstance(term, Binder):
+        return _render_binder(term, style, outer)
+    if isinstance(term, App):
+        return _render_app(term, style, outer)
+    raise TypeError(f"unknown term type {type(term)!r}")
+
+
+def _render_binder(term: Binder, style: _Style, outer: int) -> str:
+    params = " ".join(
+        f"({name} : {sort})" if not _simple_sort(sort) else f"{name} : {sort}"
+        for name, sort in term.params
+    )
+    body = _render(term.body, style, 0)
+    if term.kind == FORALL:
+        text = f"{style.forall_tok}{params}. {body}"
+        return _paren(text, _PREC_IFF, outer + 1)
+    if term.kind == EXISTS:
+        text = f"{style.exists_tok}{params}. {body}"
+        return _paren(text, _PREC_IFF, outer + 1)
+    if term.kind == LAMBDA:
+        text = f"{style.lambda_tok}{params}. {body}"
+        return _paren(text, _PREC_IFF, outer + 1)
+    if term.kind == COMPREHENSION:
+        names = ", ".join(name for name, _ in term.params)
+        sorts = " ".join(f": {sort}" for _, sort in term.params)
+        if len(term.params) == 1:
+            header = f"{names} {sorts}".strip()
+        else:
+            header = "(" + ", ".join(
+                f"{name} : {sort}" for name, sort in term.params
+            ) + ")"
+        return "{" + header + ". " + body + "}"
+    raise ValueError(f"unknown binder kind {term.kind}")
+
+
+def _simple_sort(sort) -> bool:
+    return sort.is_atomic
+
+
+def _render_nary(term: App, style: _Style, sep: str, prec: int, outer: int) -> str:
+    parts = [_render(a, style, prec + 1) for a in term.args]
+    return _paren(sep.join(parts), prec, outer)
+
+
+def _render_binary(
+    term: App, style: _Style, sep: str, prec: int, outer: int
+) -> str:
+    left = _render(term.args[0], style, prec + 1)
+    right = _render(term.args[1], style, prec + 1)
+    return _paren(f"{left}{sep}{right}", prec, outer)
+
+
+def _render_app(term: App, style: _Style, outer: int) -> str:
+    op = term.op
+    if op == "and":
+        return _render_nary(term, style, style.and_tok, _PREC_AND, outer)
+    if op == "or":
+        return _render_nary(term, style, style.or_tok, _PREC_OR, outer)
+    if op == "not":
+        inner = _render(term.args[0], style, _PREC_NOT)
+        return _paren(f"{style.not_tok}{inner}", _PREC_NOT, outer)
+    if op == "implies":
+        left = _render(term.args[0], style, _PREC_IMPLIES + 1)
+        right = _render(term.args[1], style, _PREC_IMPLIES)
+        return _paren(f"{left}{style.implies_tok}{right}", _PREC_IMPLIES, outer)
+    if op == "iff":
+        return _render_binary(term, style, style.iff_tok, _PREC_IFF, outer)
+    if op == "ite":
+        cond, then, other = (_render(a, style, 0) for a in term.args)
+        return _paren(f"if {cond} then {then} else {other}", _PREC_IFF, outer)
+    if op == "eq":
+        return _render_binary(term, style, " = ", _PREC_CMP, outer)
+    if op == "lt":
+        return _render_binary(term, style, " < ", _PREC_CMP, outer)
+    if op == "le":
+        return _render_binary(term, style, style.le_tok, _PREC_CMP, outer)
+    if op == "add":
+        return _render_nary(term, style, " + ", _PREC_ADD, outer)
+    if op == "sub":
+        return _render_binary(term, style, " - ", _PREC_ADD, outer)
+    if op == "neg":
+        inner = _render(term.args[0], style, _PREC_UNARY)
+        return _paren(f"-{inner}", _PREC_UNARY, outer)
+    if op == "mul":
+        return _render_binary(term, style, " * ", _PREC_MUL, outer)
+    if op == "div":
+        return _render_binary(term, style, " div ", _PREC_MUL, outer)
+    if op == "mod":
+        return _render_binary(term, style, " mod ", _PREC_MUL, outer)
+    if op == "select":
+        base = _render(term.args[0], style, _PREC_POSTFIX)
+        key = _render(term.args[1], style, 0)
+        return f"{base}[{key}]"
+    if op == "store":
+        base = _render(term.args[0], style, _PREC_POSTFIX)
+        key = _render(term.args[1], style, 0)
+        val = _render(term.args[2], style, 0)
+        return f"{base}[{key} := {val}]"
+    if op == "union":
+        return _render_binary(term, style, style.union_tok, _PREC_ADD, outer)
+    if op == "inter":
+        return _render_binary(term, style, style.inter_tok, _PREC_MUL, outer)
+    if op == "setminus":
+        return _render_binary(term, style, style.setminus_tok, _PREC_ADD, outer)
+    if op == "member":
+        return _render_binary(term, style, style.member_tok, _PREC_CMP, outer)
+    if op == "subseteq":
+        return _render_binary(term, style, style.subseteq_tok, _PREC_CMP, outer)
+    if op == "card":
+        inner = _render(term.args[0], style, _PREC_ATOM)
+        return _paren(f"card {inner}", _PREC_UNARY, outer)
+    if op == "setenum":
+        inner = ", ".join(_render(a, style, 0) for a in term.args)
+        return "{" + inner + "}"
+    if op == "tuple":
+        inner = ", ".join(_render(a, style, 0) for a in term.args)
+        return f"({inner})"
+    if op == "proj":
+        index = term.args[0]
+        tup = _render(term.args[1], style, _PREC_POSTFIX)
+        assert isinstance(index, IntLit)
+        return f"{tup}#{index.value}"
+    if op == "old":
+        inner = _render(term.args[0], style, _PREC_ATOM)
+        return _paren(f"old {inner}", _PREC_UNARY, outer)
+    # Uninterpreted function application.
+    if not term.args:
+        return term.op
+    inner = ", ".join(_render(a, style, 0) for a in term.args)
+    return f"{term.op}({inner})"

@@ -1,0 +1,347 @@
+"""Simplification and definition-expansion rewrites.
+
+The most important job of this module is *comprehension elimination*: the
+benchmark specifications define their abstract state through ``vardefs``
+abstraction functions such as::
+
+    content == {(i, n). 0 <= i & i < size & n = arraystate[elements][i]}
+
+After the verification-condition generator substitutes these definitions,
+verification conditions contain atoms like ``(j, e) in {(i, n). ...}`` and
+equalities between comprehensions.  The automated provers work on
+arithmetic, uninterpreted functions and quantifiers -- not on set builders --
+so :func:`simplify` rewrites
+
+* ``t in {xs . P}``            to  ``P[xs := t]``,
+* ``t in A Un B``              to  ``t in A | t in B`` (similarly for
+  intersection, difference, finite set literals and singletons),
+* ``A = B`` (either side a set construct) to the extensionality formula
+  ``ALL x. x in A <-> x in B``,
+* ``A subseteq B``             to  ``ALL x. x in A --> x in B``,
+* ``select``/``store`` and tuple projections to their reduced forms,
+* boolean and arithmetic constant folding.
+
+The rewrites are semantics-preserving (they are checked against the
+finite-model evaluator in the test suite) and are applied to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from . import builder as b
+from .sorts import SetSort, TupleSort
+from .subst import FreshNameGenerator, instantiate_binder
+from .terms import (
+    COMPREHENSION,
+    EXISTS,
+    FORALL,
+    LAMBDA,
+    App,
+    Binder,
+    BoolLit,
+    IntLit,
+    Term,
+    Var,
+    free_var_names,
+)
+
+__all__ = ["simplify", "simplify_step", "eliminate_comprehensions"]
+
+_MAX_PASSES = 12
+
+
+def simplify(term: Term) -> Term:
+    """Apply the simplification rules bottom-up until a fixpoint."""
+    current = term
+    for _ in range(_MAX_PASSES):
+        simplified = _rewrite(current)
+        if simplified == current:
+            return simplified
+        current = simplified
+    return current
+
+
+def eliminate_comprehensions(term: Term) -> Term:
+    """Alias of :func:`simplify`, named for its primary purpose in the
+    verification pipeline."""
+    return simplify(term)
+
+
+def simplify_step(term: Term) -> Term:
+    """A single bottom-up rewriting pass (exposed for tests)."""
+    return _rewrite(term)
+
+
+def _rewrite(term: Term) -> Term:
+    if isinstance(term, Binder):
+        body = _rewrite(term.body)
+        rebuilt = term.rebuild((body,))
+        return _rewrite_binder(rebuilt) if isinstance(rebuilt, Binder) else rebuilt
+    if not isinstance(term, App):
+        return term
+    args = tuple(_rewrite(a) for a in term.args)
+    return _rewrite_app(term, args)
+
+
+def _rewrite_binder(term: Binder) -> Term:
+    if term.kind in (FORALL, EXISTS):
+        if isinstance(term.body, BoolLit):
+            return term.body
+        # Drop bound variables that no longer occur in the body.
+        used = free_var_names(term.body)
+        remaining = tuple(p for p in term.params if p[0] in used)
+        if not remaining:
+            return term.body
+        if remaining != term.params:
+            return Binder(term.kind, remaining, term.body)
+    return term
+
+
+def _bool_args(args: tuple[Term, ...]) -> list[bool] | None:
+    values = []
+    for arg in args:
+        if not isinstance(arg, BoolLit):
+            return None
+        values.append(arg.value)
+    return values
+
+
+def _int_args(args: tuple[Term, ...]) -> list[int] | None:
+    values = []
+    for arg in args:
+        if not isinstance(arg, IntLit):
+            return None
+        values.append(arg.value)
+    return values
+
+
+def _rewrite_app(term: App, args: tuple[Term, ...]) -> Term:
+    op = term.op
+    # Reassemble through the smart constructors to get flattening and the
+    # unit laws for free.
+    if op == "and":
+        return b.And(*args)
+    if op == "or":
+        return b.Or(*args)
+    if op == "not":
+        return b.Not(args[0])
+    if op == "implies":
+        return b.Implies(args[0], args[1])
+    if op == "iff":
+        values = _bool_args(args)
+        if values is not None:
+            return b.Bool(values[0] == values[1])
+        if isinstance(args[0], BoolLit):
+            return args[1] if args[0].value else b.Not(args[1])
+        if isinstance(args[1], BoolLit):
+            return args[0] if args[1].value else b.Not(args[0])
+        return b.Iff(args[0], args[1])
+    if op == "ite":
+        return b.Ite(args[0], args[1], args[2])
+    if op == "eq":
+        return _rewrite_eq(args[0], args[1])
+    if op in ("lt", "le"):
+        values = _int_args(args)
+        if values is not None:
+            result = values[0] < values[1] if op == "lt" else values[0] <= values[1]
+            return b.Bool(result)
+        if args[0] == args[1]:
+            return b.Bool(op == "le")
+        return App(op, args, term.sort)
+    if op in ("add", "sub", "neg", "mul", "div", "mod"):
+        return _rewrite_arith(op, args, term)
+    if op == "select":
+        return _rewrite_select(args[0], args[1], term)
+    if op == "proj":
+        index = args[0]
+        tup = args[1]
+        if isinstance(index, IntLit) and isinstance(tup, App) and tup.op == "tuple":
+            return tup.args[index.value]
+        return App("proj", args, term.sort)
+    if op == "member":
+        return _rewrite_member(args[0], args[1], term)
+    if op == "subseteq":
+        return _rewrite_subseteq(args[0], args[1])
+    if op == "card":
+        inner = args[0]
+        if isinstance(inner, App) and inner.op == "setenum" and not inner.args:
+            return b.Int(0)
+        return App("card", args, term.sort)
+    return App(op, args, term.sort)
+
+
+def _rewrite_arith(op: str, args: tuple[Term, ...], term: App) -> Term:
+    values = _int_args(args)
+    if values is not None:
+        if op == "add":
+            return b.Int(sum(values))
+        if op == "sub":
+            return b.Int(values[0] - values[1])
+        if op == "neg":
+            return b.Int(-values[0])
+        if op == "mul":
+            return b.Int(values[0] * values[1])
+        if op == "div":
+            return b.Int(values[0] // values[1]) if values[1] else term
+        if op == "mod":
+            return b.Int(values[0] % values[1]) if values[1] else term
+    if op == "add":
+        nonzero = [a for a in args if not (isinstance(a, IntLit) and a.value == 0)]
+        constant = sum(a.value for a in args if isinstance(a, IntLit))
+        symbolic = [a for a in nonzero if not isinstance(a, IntLit)]
+        if constant != 0:
+            symbolic.append(b.Int(constant))
+        return b.Plus(*symbolic) if symbolic else b.Int(0)
+    if op == "sub" and isinstance(args[1], IntLit) and args[1].value == 0:
+        return args[0]
+    if op == "mul":
+        if any(isinstance(a, IntLit) and a.value == 0 for a in args):
+            return b.Int(0)
+        if isinstance(args[0], IntLit) and args[0].value == 1:
+            return args[1]
+        if isinstance(args[1], IntLit) and args[1].value == 1:
+            return args[0]
+    return App(op, args, term.sort)
+
+
+def _rewrite_eq(left: Term, right: Term) -> Term:
+    if left == right:
+        return b.Bool(True)
+    if isinstance(left, IntLit) and isinstance(right, IntLit):
+        return b.Bool(left.value == right.value)
+    if isinstance(left, BoolLit) or isinstance(right, BoolLit):
+        if isinstance(left, BoolLit) and isinstance(right, BoolLit):
+            return b.Bool(left.value == right.value)
+        formula, lit = (right, left) if isinstance(left, BoolLit) else (left, right)
+        assert isinstance(lit, BoolLit)
+        return formula if lit.value else b.Not(formula)
+    # Tuple equality is componentwise.
+    if (
+        isinstance(left, App)
+        and isinstance(right, App)
+        and left.op == "tuple"
+        and right.op == "tuple"
+        and len(left.args) == len(right.args)
+    ):
+        return b.And(*[_rewrite_eq(l, r) for l, r in zip(left.args, right.args)])
+    # Set equality through extensionality whenever either side is a set
+    # constructor the provers cannot handle natively.
+    if isinstance(left.sort, SetSort) and (_is_set_construct(left) or _is_set_construct(right)):
+        return _set_extensionality(left, right)
+    return b.Eq(left, right)
+
+
+_SET_CONSTRUCT_OPS = {"union", "inter", "setminus", "setenum", "store"}
+
+
+def _is_set_construct(term: Term) -> bool:
+    if isinstance(term, Binder) and term.kind == COMPREHENSION:
+        return True
+    return isinstance(term, App) and term.op in _SET_CONSTRUCT_OPS and isinstance(
+        term.sort, SetSort
+    )
+
+
+def _fresh_element_vars(sort: SetSort, avoid: frozenset[str]) -> list[Var]:
+    gen = FreshNameGenerator(set(avoid))
+    elem = sort.elem
+    if isinstance(elem, TupleSort):
+        return [Var(gen.fresh(f"x{i}"), s) for i, s in enumerate(elem.items)]
+    return [Var(gen.fresh("x"), elem)]
+
+
+def _element_term(element_vars: list[Var]) -> Term:
+    if len(element_vars) == 1:
+        return element_vars[0]
+    return b.Tuple(*element_vars)
+
+
+def _set_extensionality(left: Term, right: Term) -> Term:
+    assert isinstance(left.sort, SetSort)
+    avoid = free_var_names(left) | free_var_names(right)
+    element_vars = _fresh_element_vars(left.sort, avoid)
+    element = _element_term(element_vars)
+    body = b.Iff(
+        _rewrite_member(element, left, None),
+        _rewrite_member(element, right, None),
+    )
+    return b.ForAll(element_vars, body)
+
+
+def _rewrite_subseteq(left: Term, right: Term) -> Term:
+    assert isinstance(left.sort, SetSort)
+    if isinstance(left, App) and left.op == "setenum" and not left.args:
+        return b.Bool(True)
+    avoid = free_var_names(left) | free_var_names(right)
+    element_vars = _fresh_element_vars(left.sort, avoid)
+    element = _element_term(element_vars)
+    body = b.Implies(
+        _rewrite_member(element, left, None),
+        _rewrite_member(element, right, None),
+    )
+    return b.ForAll(element_vars, body)
+
+
+def _split_tuple(elem: Term, arity: int) -> list[Term] | None:
+    if isinstance(elem, App) and elem.op == "tuple" and len(elem.args) == arity:
+        return list(elem.args)
+    return None
+
+
+def _rewrite_member(elem: Term, the_set: Term, original: App | None) -> Term:
+    if isinstance(the_set, Binder) and the_set.kind == COMPREHENSION:
+        components = _split_tuple(elem, len(the_set.params))
+        if components is None and len(the_set.params) > 1:
+            components = [
+                b.Proj(i, elem) for i in range(len(the_set.params))
+            ]
+        if components is None:
+            components = [elem]
+        return simplify_step(instantiate_binder(the_set, components))
+    if isinstance(the_set, App):
+        op = the_set.op
+        if op == "setenum":
+            if not the_set.args:
+                return b.Bool(False)
+            return b.Or(*[_rewrite_eq(elem, e) for e in the_set.args])
+        if op == "union":
+            return b.Or(
+                _rewrite_member(elem, the_set.args[0], None),
+                _rewrite_member(elem, the_set.args[1], None),
+            )
+        if op == "inter":
+            return b.And(
+                _rewrite_member(elem, the_set.args[0], None),
+                _rewrite_member(elem, the_set.args[1], None),
+            )
+        if op == "setminus":
+            return b.And(
+                _rewrite_member(elem, the_set.args[0], None),
+                b.Not(_rewrite_member(elem, the_set.args[1], None)),
+            )
+        if op == "ite":
+            return b.Ite(
+                the_set.args[0],
+                _rewrite_member(elem, the_set.args[1], None),
+                _rewrite_member(elem, the_set.args[2], None),
+            )
+    return b.Member(elem, the_set)
+
+
+def _rewrite_select(base: Term, key: Term, term: App) -> Term:
+    if isinstance(base, App) and base.op == "store":
+        stored_map, stored_key, stored_value = base.args
+        if stored_key == key:
+            return stored_value
+        if _definitely_distinct(stored_key, key):
+            return _rewrite_select(stored_map, key, term)
+        return App("select", (base, key), term.sort)
+    if isinstance(base, Binder) and base.kind == LAMBDA:
+        return simplify_step(instantiate_binder(base, [key]))
+    return App("select", (base, key), term.sort)
+
+
+def _definitely_distinct(left: Term, right: Term) -> bool:
+    """Syntactic check that two terms denote different values."""
+    if isinstance(left, IntLit) and isinstance(right, IntLit):
+        return left.value != right.value
+    return False

@@ -1,0 +1,165 @@
+"""Sorts (types) for the HOL-ish specification logic.
+
+The logic is many-sorted.  The base sorts mirror the ones Jahob uses for
+Java verification:
+
+* ``int``  -- mathematical integers,
+* ``bool`` -- propositions / booleans,
+* ``obj``  -- references to heap objects (including ``null``).
+
+Composite sorts:
+
+* ``SetSort(elem)``      -- finite sets of ``elem``,
+* ``MapSort(dom, ran)``  -- total functions used to model fields and arrays
+  (a Java field ``f`` becomes a global variable of sort ``obj => obj``;
+  the array state becomes ``obj => (int => obj)``),
+* ``TupleSort(items)``   -- n-ary tuples, used by relations such as the
+  ``content`` specification variable of ``ArrayList`` which is a set of
+  ``(int, obj)`` pairs,
+* ``FunSort(args, ran)`` -- sort of uninterpreted function symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SortError(TypeError):
+    """Raised when a term is built or checked with incompatible sorts."""
+
+
+@dataclass(frozen=True)
+class Sort:
+    """Base class for all sorts."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    @property
+    def is_atomic(self) -> bool:
+        return True
+
+
+INT = Sort("int")
+BOOL = Sort("bool")
+OBJ = Sort("obj")
+
+
+@dataclass(frozen=True)
+class SetSort(Sort):
+    """Sort of finite sets over an element sort."""
+
+    elem: Sort = field(default=OBJ)
+
+    def __init__(self, elem: Sort) -> None:
+        object.__setattr__(self, "elem", elem)
+        object.__setattr__(self, "name", f"({elem}) set")
+
+    @property
+    def is_atomic(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class MapSort(Sort):
+    """Sort of total maps ``dom => ran`` (fields, arrays, ghost maps)."""
+
+    dom: Sort = field(default=OBJ)
+    ran: Sort = field(default=OBJ)
+
+    def __init__(self, dom: Sort, ran: Sort) -> None:
+        object.__setattr__(self, "dom", dom)
+        object.__setattr__(self, "ran", ran)
+        object.__setattr__(self, "name", f"({dom} => {ran})")
+
+    @property
+    def is_atomic(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class TupleSort(Sort):
+    """Sort of n-ary tuples."""
+
+    items: tuple[Sort, ...] = field(default=())
+
+    def __init__(self, items: tuple[Sort, ...]) -> None:
+        object.__setattr__(self, "items", tuple(items))
+        object.__setattr__(self, "name", "(" + " * ".join(str(s) for s in items) + ")")
+
+    @property
+    def is_atomic(self) -> bool:
+        return False
+
+    @property
+    def arity(self) -> int:
+        return len(self.items)
+
+
+@dataclass(frozen=True)
+class FunSort(Sort):
+    """Sort of an uninterpreted function symbol ``args -> ran``."""
+
+    args: tuple[Sort, ...] = field(default=())
+    ran: Sort = field(default=OBJ)
+
+    def __init__(self, args: tuple[Sort, ...], ran: Sort) -> None:
+        object.__setattr__(self, "args", tuple(args))
+        object.__setattr__(self, "ran", ran)
+        pretty = ", ".join(str(s) for s in args)
+        object.__setattr__(self, "name", f"[{pretty}] -> {ran}")
+
+    @property
+    def is_atomic(self) -> bool:
+        return False
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+
+def set_of(elem: Sort) -> SetSort:
+    """Build the sort of sets over ``elem``."""
+    return SetSort(elem)
+
+
+def map_of(dom: Sort, ran: Sort) -> MapSort:
+    """Build the sort of maps from ``dom`` to ``ran``."""
+    return MapSort(dom, ran)
+
+
+def tuple_of(*items: Sort) -> TupleSort:
+    """Build the sort of tuples over ``items``."""
+    return TupleSort(tuple(items))
+
+
+def fun_of(args: tuple[Sort, ...] | list[Sort], ran: Sort) -> FunSort:
+    """Build the sort of an uninterpreted function symbol."""
+    return FunSort(tuple(args), ran)
+
+
+# Commonly used composite sorts in the Java heap encoding.
+OBJ_SET = set_of(OBJ)
+INT_SET = set_of(INT)
+OBJ_FIELD = map_of(OBJ, OBJ)
+INT_FIELD = map_of(OBJ, INT)
+BOOL_FIELD = map_of(OBJ, BOOL)
+ARRAY_STATE = map_of(OBJ, map_of(INT, OBJ))
+INT_OBJ_PAIR = tuple_of(INT, OBJ)
+INT_OBJ_REL = set_of(INT_OBJ_PAIR)
+OBJ_OBJ_PAIR = tuple_of(OBJ, OBJ)
+OBJ_OBJ_REL = set_of(OBJ_OBJ_PAIR)
+
+
+def unify(expected: Sort, actual: Sort, context: str = "") -> Sort:
+    """Check that ``actual`` is compatible with ``expected``.
+
+    The sort system is simple enough that compatibility is plain equality;
+    the helper exists to produce consistent error messages.
+    """
+    if expected != actual:
+        where = f" in {context}" if context else ""
+        raise SortError(f"expected sort {expected}, got {actual}{where}")
+    return actual

@@ -1,0 +1,336 @@
+"""Term and formula AST for the specification logic.
+
+The logic is a simply-sorted fragment of higher-order logic, rich enough to
+express the specifications in the paper's benchmark suite:
+
+* boolean connectives and quantifiers,
+* linear integer arithmetic (with ``mod`` for the hash table),
+* uninterpreted functions and constants,
+* total maps with ``select``/``store`` (modelling Java fields and arrays as
+  function-update expressions, exactly as Jahob does),
+* finite sets and relations (sets of tuples) with union, intersection,
+  difference, membership, subset, and cardinality,
+* set comprehensions and lambda abstractions (used by ``vardefs``
+  abstraction functions such as
+  ``content == {(i, n). 0 <= i & i < size & n = elements[i]}``).
+
+Formulas are simply terms of sort ``bool``.  All AST nodes are immutable and
+hashable, so they can be freely shared, memoised and used as dictionary keys
+by the provers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from .sorts import (
+    BOOL,
+    INT,
+    OBJ,
+    FunSort,
+    MapSort,
+    SetSort,
+    Sort,
+    SortError,
+    TupleSort,
+)
+
+# ---------------------------------------------------------------------------
+# Operator registry
+# ---------------------------------------------------------------------------
+
+#: Boolean connectives.
+BOOL_OPS = frozenset({"and", "or", "not", "implies", "iff"})
+
+#: Integer arithmetic and comparisons.
+ARITH_OPS = frozenset({"add", "sub", "neg", "mul", "div", "mod"})
+COMPARE_OPS = frozenset({"lt", "le"})
+
+#: Polymorphic equality.
+EQ_OPS = frozenset({"eq"})
+
+#: Map (field / array) operations.
+MAP_OPS = frozenset({"select", "store"})
+
+#: Set and relation operations.
+SET_OPS = frozenset(
+    {"union", "inter", "setminus", "member", "subseteq", "card", "setenum"}
+)
+
+#: Tuple construction and projection.
+TUPLE_OPS = frozenset({"tuple", "proj"})
+
+#: Conditional term.
+ITE_OPS = frozenset({"ite"})
+
+#: ``old`` wrapper -- only appears in surface specifications; the frontend
+#: eliminates it before verification-condition generation.
+OLD_OPS = frozenset({"old"})
+
+INTERPRETED_OPS = (
+    BOOL_OPS
+    | ARITH_OPS
+    | COMPARE_OPS
+    | EQ_OPS
+    | MAP_OPS
+    | SET_OPS
+    | TUPLE_OPS
+    | ITE_OPS
+    | OLD_OPS
+)
+
+#: Binder kinds.
+FORALL = "forall"
+EXISTS = "exists"
+LAMBDA = "lambda"
+COMPREHENSION = "compr"
+BINDER_KINDS = frozenset({FORALL, EXISTS, LAMBDA, COMPREHENSION})
+
+
+class Term:
+    """Base class of all AST nodes.  Instances are immutable and hashable."""
+
+    __slots__ = ()
+
+    sort: Sort
+
+    @property
+    def is_formula(self) -> bool:
+        """True when the term has sort ``bool``."""
+        return self.sort == BOOL
+
+    # The children/rebuild protocol lets generic traversals (substitution,
+    # simplification, evaluation) work uniformly over every node type.
+    def children(self) -> tuple["Term", ...]:
+        return ()
+
+    def rebuild(self, children: tuple["Term", ...]) -> "Term":
+        if children:
+            raise ValueError(f"{type(self).__name__} has no children")
+        return self
+
+    def __str__(self) -> str:
+        from .printer import to_ascii
+
+        return to_ascii(self)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self}>"
+
+
+@dataclass(frozen=True, repr=False)
+class Var(Term):
+    """A variable (bound or free) with an explicit sort."""
+
+    name: str
+    sort: Sort = field(default=OBJ)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+
+@dataclass(frozen=True, repr=False)
+class Const(Term):
+    """An uninterpreted constant symbol (e.g. ``null``)."""
+
+    name: str
+    sort: Sort = field(default=OBJ)
+
+
+@dataclass(frozen=True, repr=False)
+class IntLit(Term):
+    """An integer literal."""
+
+    value: int
+    sort: Sort = field(default=INT, init=False)
+
+
+@dataclass(frozen=True, repr=False)
+class BoolLit(Term):
+    """A boolean literal (``true`` / ``false``)."""
+
+    value: bool
+    sort: Sort = field(default=BOOL, init=False)
+
+
+@dataclass(frozen=True, repr=False)
+class App(Term):
+    """Application of an operator or uninterpreted function to arguments.
+
+    ``op`` is either one of the interpreted operator names in
+    :data:`INTERPRETED_OPS` or the name of an uninterpreted function symbol.
+    The result sort is stored explicitly so that traversals never need to
+    re-infer it.
+    """
+
+    op: str
+    args: tuple[Term, ...]
+    sort: Sort = field(default=BOOL)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def is_interpreted(self) -> bool:
+        return self.op in INTERPRETED_OPS
+
+    def children(self) -> tuple[Term, ...]:
+        return self.args
+
+    def rebuild(self, children: tuple[Term, ...]) -> "App":
+        if children == self.args:
+            return self
+        return App(self.op, tuple(children), self.sort)
+
+
+@dataclass(frozen=True, repr=False)
+class Binder(Term):
+    """A binder: universal/existential quantifier, lambda, or comprehension.
+
+    ``params`` is a tuple of ``(name, sort)`` pairs.  The sort of the binder
+    itself is derived from its kind:
+
+    * ``forall`` / ``exists`` -- ``bool``,
+    * ``lambda``              -- a map sort from the parameter sort(s),
+    * ``compr``               -- a set sort over the parameter sort(s); a
+      comprehension with several parameters denotes a set of tuples, e.g.
+      ``{(i, n). P}`` has sort ``(int * obj) set``.
+    """
+
+    kind: str
+    params: tuple[tuple[str, Sort], ...]
+    body: Term
+    sort: Sort = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in BINDER_KINDS:
+            raise ValueError(f"unknown binder kind {self.kind!r}")
+        if not self.params:
+            raise ValueError("binder must bind at least one variable")
+        object.__setattr__(self, "params", tuple(self.params))
+        object.__setattr__(self, "sort", self._derive_sort())
+
+    def _derive_sort(self) -> Sort:
+        if self.kind in (FORALL, EXISTS):
+            if self.body.sort != BOOL:
+                raise SortError(
+                    f"quantifier body must be bool, got {self.body.sort}"
+                )
+            return BOOL
+        param_sorts = tuple(s for _, s in self.params)
+        elem: Sort
+        elem = param_sorts[0] if len(param_sorts) == 1 else TupleSort(param_sorts)
+        if self.kind == COMPREHENSION:
+            if self.body.sort != BOOL:
+                raise SortError(
+                    f"comprehension body must be bool, got {self.body.sort}"
+                )
+            return SetSort(elem)
+        # lambda
+        if len(param_sorts) == 1:
+            return MapSort(param_sorts[0], self.body.sort)
+        return FunSort(param_sorts, self.body.sort)
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(n for n, _ in self.params)
+
+    @property
+    def param_vars(self) -> tuple[Var, ...]:
+        return tuple(Var(n, s) for n, s in self.params)
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.body,)
+
+    def rebuild(self, children: tuple[Term, ...]) -> "Binder":
+        (body,) = children
+        if body is self.body:
+            return self
+        return Binder(self.kind, self.params, body)
+
+
+# Canonical literals and constants shared across the code base.
+TRUE = BoolLit(True)
+FALSE = BoolLit(False)
+ZERO = IntLit(0)
+ONE = IntLit(1)
+NULL = Const("null", OBJ)
+
+
+# ---------------------------------------------------------------------------
+# Free variables and symbols
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=65536)
+def free_vars(term: Term) -> frozenset[Var]:
+    """Return the set of free variables of ``term``."""
+    if isinstance(term, Var):
+        return frozenset({term})
+    if isinstance(term, (Const, IntLit, BoolLit)):
+        return frozenset()
+    if isinstance(term, App):
+        result: frozenset[Var] = frozenset()
+        for arg in term.args:
+            result |= free_vars(arg)
+        return result
+    if isinstance(term, Binder):
+        bound = {Var(n, s) for n, s in term.params}
+        return free_vars(term.body) - bound
+    raise TypeError(f"unknown term type {type(term)!r}")
+
+
+@lru_cache(maxsize=65536)
+def free_var_names(term: Term) -> frozenset[str]:
+    """Return the names of the free variables of ``term``."""
+    return frozenset(v.name for v in free_vars(term))
+
+
+@lru_cache(maxsize=65536)
+def function_symbols(term: Term) -> frozenset[str]:
+    """Return the uninterpreted function/constant symbols used by ``term``."""
+    if isinstance(term, Const):
+        return frozenset({term.name})
+    if isinstance(term, (Var, IntLit, BoolLit)):
+        return frozenset()
+    if isinstance(term, App):
+        result = frozenset() if term.is_interpreted else frozenset({term.op})
+        for arg in term.args:
+            result |= function_symbols(arg)
+        return result
+    if isinstance(term, Binder):
+        return function_symbols(term.body)
+    raise TypeError(f"unknown term type {type(term)!r}")
+
+
+def is_closed(term: Term) -> bool:
+    """True when the term has no free variables."""
+    return not free_vars(term)
+
+
+def subterms(term: Term):
+    """Yield every subterm of ``term`` (including ``term`` itself), pre-order."""
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(current.children()))
+
+
+def term_size(term: Term) -> int:
+    """Number of AST nodes in ``term``."""
+    return sum(1 for _ in subterms(term))
+
+
+def contains_quantifier(term: Term) -> bool:
+    """True when ``term`` contains a ``forall`` or ``exists`` binder."""
+    return any(
+        isinstance(t, Binder) and t.kind in (FORALL, EXISTS) for t in subterms(term)
+    )
+
+
+def contains_binder(term: Term) -> bool:
+    """True when ``term`` contains any binder (including lambdas)."""
+    return any(isinstance(t, Binder) for t in subterms(term))

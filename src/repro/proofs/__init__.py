@@ -1,0 +1,24 @@
+"""The integrated proof language: constructs, translation and soundness."""
+
+from .constructs import (
+    PROOF_CONSTRUCT_NAMES,
+    Assuming,
+    ByContradiction,
+    Cases,
+    Contradiction,
+    Fix,
+    Induct,
+    Instantiate,
+    Localize,
+    Mp,
+    Note,
+    PickAny,
+    PickWitness,
+    ShowedCase,
+    Witness,
+    construct_name,
+)
+from .soundness import SoundnessChecker, SoundnessReport, soundness_obligation
+from .translate import ProofTranslationError, translate_proof
+
+__all__ = [name for name in dir() if not name.startswith("_")]

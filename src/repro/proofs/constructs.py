@@ -1,0 +1,311 @@
+"""The integrated proof language constructs (Figure 3 of the paper).
+
+Each construct is an extended guarded command, so developers can embed it at
+any program point of a method body (the frontend parses them from
+``/*: ... */`` comments).  The constructs and their intent:
+
+===================  ========================================================
+``note``             prove a lemma and add it to the assumption base, with an
+                     optional ``from`` clause restricting the assumption base
+                     used for the proof (assumption-base control)
+``localize``         prove a lemma inside a local assumption base, exporting
+                     only the final formula
+``mp``               modus ponens
+``assuming``         implication introduction
+``cases``            case analysis
+``showedCase``       disjunction introduction
+``byContradiction``  proof by contradiction
+``contradiction``    derive ``false`` from ``F`` and ``~F``
+``instantiate``      universal elimination
+``witness``          existential introduction (witness identification)
+``pickWitness``      existential elimination
+``pickAny``          universal introduction
+``induct``           mathematical induction over non-negative integers
+``fix``              generalisation of pickAny/pickWitness admitting
+                     executable code in its body (Appendix B)
+===================  ========================================================
+
+The semantics of every construct is given by its translation into simple
+guarded commands in :mod:`repro.proofs.translate` (Figure 8 / Figure 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gcl.extended import ExtendedCommand, ProofConstruct, Skip
+from ..logic.terms import Term, Var
+
+__all__ = [
+    "Note",
+    "Localize",
+    "Mp",
+    "Assuming",
+    "Cases",
+    "ShowedCase",
+    "ByContradiction",
+    "Contradiction",
+    "Instantiate",
+    "Witness",
+    "PickWitness",
+    "PickAny",
+    "Induct",
+    "Fix",
+    "PROOF_CONSTRUCT_NAMES",
+    "construct_name",
+]
+
+
+@dataclass(frozen=True)
+class Note(ProofConstruct):
+    """``note l:F from h`` -- prove ``F`` (using only the named assumptions
+    when ``from_hints`` is non-empty) and add it to the assumption base."""
+
+    label: str
+    formula: Term
+    from_hints: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "from_hints", tuple(self.from_hints))
+
+
+@dataclass(frozen=True)
+class Localize(ProofConstruct):
+    """``localize in (p ; note l:F)`` -- prove ``F`` with the help of the
+    intermediate lemmas in ``proof``, but add only ``F`` to the original
+    assumption base."""
+
+    proof: ExtendedCommand
+    label: str
+    formula: Term
+    from_hints: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "from_hints", tuple(self.from_hints))
+
+    def children(self) -> tuple[ExtendedCommand, ...]:
+        return (self.proof,)
+
+
+@dataclass(frozen=True)
+class Mp(ProofConstruct):
+    """``mp l:(F --> G)`` -- modus ponens: prove ``F`` and ``F --> G``, then
+    assume ``G``."""
+
+    label: str
+    antecedent: Term
+    consequent: Term
+    from_hints: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "from_hints", tuple(self.from_hints))
+
+
+@dataclass(frozen=True)
+class Assuming(ProofConstruct):
+    """``assuming lF:F in (p ; note lG:G)`` -- implication introduction:
+    assume ``F`` locally, prove ``G`` under it, export ``F --> G``."""
+
+    hypothesis_label: str
+    hypothesis: Term
+    proof: ExtendedCommand
+    conclusion_label: str
+    conclusion: Term
+    from_hints: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "from_hints", tuple(self.from_hints))
+
+    def children(self) -> tuple[ExtendedCommand, ...]:
+        return (self.proof,)
+
+
+@dataclass(frozen=True)
+class Cases(ProofConstruct):
+    """``cases F1, ..., Fn for l:G`` -- case analysis: the cases must cover,
+    and each case must imply the goal."""
+
+    cases: tuple[Term, ...]
+    label: str
+    goal: Term
+    from_hints: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cases", tuple(self.cases))
+        object.__setattr__(self, "from_hints", tuple(self.from_hints))
+
+
+@dataclass(frozen=True)
+class ShowedCase(ProofConstruct):
+    """``showedCase i of l:F1 | ... | Fn`` -- disjunction introduction."""
+
+    index: int
+    label: str
+    disjuncts: tuple[Term, ...]
+    from_hints: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "disjuncts", tuple(self.disjuncts))
+        object.__setattr__(self, "from_hints", tuple(self.from_hints))
+
+
+@dataclass(frozen=True)
+class ByContradiction(ProofConstruct):
+    """``byContradiction l:F in p`` -- assume ``~F`` locally, derive false."""
+
+    label: str
+    formula: Term
+    proof: ExtendedCommand = field(default_factory=Skip)
+
+    def children(self) -> tuple[ExtendedCommand, ...]:
+        return (self.proof,)
+
+
+@dataclass(frozen=True)
+class Contradiction(ProofConstruct):
+    """``contradiction l:F`` -- prove both ``F`` and ``~F``; conclude false."""
+
+    label: str
+    formula: Term
+    from_hints: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "from_hints", tuple(self.from_hints))
+
+
+@dataclass(frozen=True)
+class Instantiate(ProofConstruct):
+    """``instantiate l:(ALL x. F) with t`` -- universal elimination."""
+
+    label: str
+    quantified: Term
+    terms: tuple[Term, ...]
+    from_hints: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", tuple(self.terms))
+        object.__setattr__(self, "from_hints", tuple(self.from_hints))
+
+
+@dataclass(frozen=True)
+class Witness(ProofConstruct):
+    """``witness t for l:(EX x. F)`` -- existential introduction with an
+    explicit witness (the paper's witness identification)."""
+
+    terms: tuple[Term, ...]
+    label: str
+    existential: Term
+    from_hints: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", tuple(self.terms))
+        object.__setattr__(self, "from_hints", tuple(self.from_hints))
+
+
+@dataclass(frozen=True)
+class PickWitness(ProofConstruct):
+    """``pickWitness x for lF:F in (p ; note lG:G)`` -- existential
+    elimination: name values satisfying ``F`` in a local assumption base,
+    prove ``G`` (in which the picked variables must not occur), export ``G``."""
+
+    variables: tuple[Var, ...]
+    hypothesis_label: str
+    hypothesis: Term
+    proof: ExtendedCommand
+    conclusion_label: str
+    conclusion: Term
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "variables", tuple(self.variables))
+
+    def children(self) -> tuple[ExtendedCommand, ...]:
+        return (self.proof,)
+
+
+@dataclass(frozen=True)
+class PickAny(ProofConstruct):
+    """``pickAny x in (p ; note l:G)`` -- universal introduction: prove ``G``
+    for arbitrary ``x``, export ``ALL x. G``."""
+
+    variables: tuple[Var, ...]
+    proof: ExtendedCommand
+    label: str
+    goal: Term
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "variables", tuple(self.variables))
+
+    def children(self) -> tuple[ExtendedCommand, ...]:
+        return (self.proof,)
+
+
+@dataclass(frozen=True)
+class Induct(ProofConstruct):
+    """``induct l:F over n in p`` -- mathematical induction over ``n >= 0``."""
+
+    label: str
+    formula: Term
+    variable: Var
+    proof: ExtendedCommand = field(default_factory=Skip)
+
+    def children(self) -> tuple[ExtendedCommand, ...]:
+        return (self.proof,)
+
+
+@dataclass(frozen=True)
+class Fix(ProofConstruct):
+    """``fix x suchThat F in (c ; note l:G)`` -- Appendix B's generalisation
+    of pickAny / pickWitness whose body ``c`` may contain executable code."""
+
+    variables: tuple[Var, ...]
+    such_that: Term
+    body: ExtendedCommand
+    label: str
+    goal: Term
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "variables", tuple(self.variables))
+
+    def children(self) -> tuple[ExtendedCommand, ...]:
+        return (self.body,)
+
+
+#: Construct names in the order Table 1 reports them.
+PROOF_CONSTRUCT_NAMES = (
+    "note",
+    "localize",
+    "assuming",
+    "mp",
+    "pickAny",
+    "instantiate",
+    "witness",
+    "pickWitness",
+    "cases",
+    "induct",
+    "showedCase",
+    "byContradiction",
+    "contradiction",
+    "fix",
+)
+
+_NAME_BY_CLASS = {
+    Note: "note",
+    Localize: "localize",
+    Assuming: "assuming",
+    Mp: "mp",
+    PickAny: "pickAny",
+    Instantiate: "instantiate",
+    Witness: "witness",
+    PickWitness: "pickWitness",
+    Cases: "cases",
+    Induct: "induct",
+    ShowedCase: "showedCase",
+    ByContradiction: "byContradiction",
+    Contradiction: "contradiction",
+    Fix: "fix",
+}
+
+
+def construct_name(construct: ProofConstruct) -> str:
+    """The Table-1 name of a proof construct instance."""
+    return _NAME_BY_CLASS[type(construct)]

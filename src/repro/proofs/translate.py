@@ -1,0 +1,279 @@
+"""Translation of proof language constructs into simple guarded commands.
+
+This module implements Figure 8 of the paper (plus Figure 12 for ``fix``).
+Every construct desugars into a combination of ``assert``, ``assume``,
+``havoc``, choice and sequencing; the characteristic pattern
+
+    (skip [] (c ; [[p]] ; assert F ; assume false)) ; assume G
+
+creates a *local assumption base*: the second branch generates the proof
+obligations needed to establish ``G`` and is then cut off by
+``assume false``, so only ``G`` itself is exported to the original
+assumption base.  The soundness of each rule (``[[p]]`` is stronger than
+``skip``) is established in :mod:`repro.proofs.soundness`, mirroring the
+paper's Appendix A.
+"""
+
+from __future__ import annotations
+
+from ..gcl.extended import ProofConstruct
+from ..gcl.simple import SAssert, SAssume, SHavoc, SimpleCommand, schoice, sseq, sskip
+from ..logic import builder as b
+from ..logic.subst import substitute
+from ..logic.terms import EXISTS, FORALL, Binder, Term, Var, free_vars
+from .constructs import (
+    Assuming,
+    ByContradiction,
+    Cases,
+    Contradiction,
+    Fix,
+    Induct,
+    Instantiate,
+    Localize,
+    Mp,
+    Note,
+    PickAny,
+    PickWitness,
+    ShowedCase,
+    Witness,
+)
+
+__all__ = ["translate_proof", "ProofTranslationError"]
+
+
+class ProofTranslationError(ValueError):
+    """Raised when a proof construct is ill-formed (e.g. a pickWitness whose
+    conclusion mentions the picked variables)."""
+
+
+def _local_base(
+    setup: SimpleCommand,
+    obligation: SimpleCommand,
+    exported: SimpleCommand,
+) -> SimpleCommand:
+    """The ``(skip [] (setup ; obligation ; assume false)) ; exported`` pattern."""
+    dead_branch = sseq(setup, obligation, SAssume(b.Bool(False), "ProofCut"))
+    return sseq(schoice(sskip(), dead_branch), exported)
+
+
+def _strip_binder(formula: Term, kind: str, context: str) -> Binder:
+    if not isinstance(formula, Binder) or formula.kind != kind:
+        raise ProofTranslationError(
+            f"{context} expects a {'universally' if kind == FORALL else 'existentially'}"
+            f" quantified formula, got {formula}"
+        )
+    return formula
+
+
+def translate_proof(construct: ProofConstruct, desugarer) -> SimpleCommand:
+    """Translate one proof construct (Figure 8 / Figure 12)."""
+    if isinstance(construct, Note):
+        return sseq(
+            SAssert(construct.formula, construct.label, construct.from_hints),
+            SAssume(construct.formula, construct.label),
+        )
+
+    if isinstance(construct, Localize):
+        inner = desugarer.desugar(construct.proof)
+        return _local_base(
+            inner,
+            SAssert(construct.formula, construct.label, construct.from_hints),
+            SAssume(construct.formula, construct.label),
+        )
+
+    if isinstance(construct, Mp):
+        implication = b.Implies(construct.antecedent, construct.consequent)
+        return sseq(
+            SAssert(construct.antecedent, f"{construct.label}_antecedent",
+                    construct.from_hints),
+            SAssert(implication, f"{construct.label}_implication",
+                    construct.from_hints),
+            SAssume(construct.consequent, construct.label),
+        )
+
+    if isinstance(construct, Assuming):
+        inner = sseq(
+            SAssume(construct.hypothesis, construct.hypothesis_label),
+            desugarer.desugar(construct.proof),
+        )
+        exported = b.Implies(construct.hypothesis, construct.conclusion)
+        return _local_base(
+            inner,
+            SAssert(construct.conclusion, construct.conclusion_label,
+                    construct.from_hints),
+            SAssume(exported, construct.conclusion_label),
+        )
+
+    if isinstance(construct, Cases):
+        commands: list[SimpleCommand] = [
+            SAssert(b.Or(*construct.cases), f"{construct.label}_coverage",
+                    construct.from_hints)
+        ]
+        for index, case in enumerate(construct.cases):
+            commands.append(
+                SAssert(
+                    b.Implies(case, construct.goal),
+                    f"{construct.label}_case{index + 1}",
+                    construct.from_hints,
+                )
+            )
+        commands.append(SAssume(construct.goal, construct.label))
+        return sseq(*commands)
+
+    if isinstance(construct, ShowedCase):
+        if not 1 <= construct.index <= len(construct.disjuncts):
+            raise ProofTranslationError(
+                f"showedCase index {construct.index} out of range"
+            )
+        shown = construct.disjuncts[construct.index - 1]
+        return sseq(
+            SAssert(shown, f"{construct.label}_case{construct.index}",
+                    construct.from_hints),
+            SAssume(b.Or(*construct.disjuncts), construct.label),
+        )
+
+    if isinstance(construct, ByContradiction):
+        inner = sseq(
+            SAssume(b.Not(construct.formula), f"{construct.label}_negated"),
+            desugarer.desugar(construct.proof),
+        )
+        return _local_base(
+            inner,
+            SAssert(b.Bool(False), f"{construct.label}_absurd"),
+            SAssume(construct.formula, construct.label),
+        )
+
+    if isinstance(construct, Contradiction):
+        return sseq(
+            SAssert(construct.formula, f"{construct.label}_pos", construct.from_hints),
+            SAssert(b.Not(construct.formula), f"{construct.label}_neg",
+                    construct.from_hints),
+            SAssume(b.Bool(False), construct.label),
+        )
+
+    if isinstance(construct, Instantiate):
+        quantified = _strip_binder(construct.quantified, FORALL, "instantiate")
+        if len(construct.terms) != len(quantified.params):
+            raise ProofTranslationError(
+                "instantiate provides "
+                f"{len(construct.terms)} terms for {len(quantified.params)} "
+                "bound variables"
+            )
+        mapping = dict(zip(quantified.param_vars, construct.terms))
+        instance = substitute(quantified.body, mapping)
+        return sseq(
+            SAssert(construct.quantified, f"{construct.label}_universal",
+                    construct.from_hints),
+            SAssume(instance, construct.label),
+        )
+
+    if isinstance(construct, Witness):
+        existential = _strip_binder(construct.existential, EXISTS, "witness")
+        if len(construct.terms) != len(existential.params):
+            raise ProofTranslationError(
+                f"witness provides {len(construct.terms)} terms for "
+                f"{len(existential.params)} bound variables"
+            )
+        mapping = dict(zip(existential.param_vars, construct.terms))
+        instance = substitute(existential.body, mapping)
+        return sseq(
+            SAssert(instance, f"{construct.label}_witness", construct.from_hints),
+            SAssume(construct.existential, construct.label),
+        )
+
+    if isinstance(construct, PickWitness):
+        picked = set(construct.variables)
+        if picked & free_vars(construct.conclusion):
+            raise ProofTranslationError(
+                "pickWitness conclusion must not mention the picked variables"
+            )
+        existential = b.Exists(list(construct.variables), construct.hypothesis)
+        inner = sseq(
+            SAssert(existential, f"{construct.hypothesis_label}_exists"),
+            SHavoc(construct.variables),
+            SAssume(construct.hypothesis, construct.hypothesis_label),
+            desugarer.desugar(construct.proof),
+        )
+        return _local_base(
+            inner,
+            SAssert(construct.conclusion, construct.conclusion_label),
+            SAssume(construct.conclusion, construct.conclusion_label),
+        )
+
+    if isinstance(construct, PickAny):
+        inner = sseq(
+            SHavoc(construct.variables),
+            desugarer.desugar(construct.proof),
+        )
+        exported = b.ForAll(list(construct.variables), construct.goal)
+        return _local_base(
+            inner,
+            SAssert(construct.goal, construct.label),
+            SAssume(exported, construct.label),
+        )
+
+    if isinstance(construct, Induct):
+        n = construct.variable
+        zero_case = substitute(construct.formula, {n: b.Int(0)})
+        step_case = b.Implies(
+            construct.formula,
+            substitute(construct.formula, {n: b.Plus(n, b.Int(1))}),
+        )
+        inner = sseq(
+            SHavoc((n,)),
+            SAssume(b.Le(b.Int(0), n), f"{construct.label}_range"),
+            desugarer.desugar(construct.proof),
+        )
+        exported = b.ForAll(
+            [n], b.Implies(b.Le(b.Int(0), n), construct.formula)
+        )
+        dead_branch = sseq(
+            inner,
+            SAssert(zero_case, f"{construct.label}_base"),
+            SAssert(step_case, f"{construct.label}_step"),
+            SAssume(b.Bool(False), "ProofCut"),
+        )
+        return sseq(
+            schoice(sskip(), dead_branch),
+            SAssume(exported, construct.label),
+        )
+
+    if isinstance(construct, Fix):
+        return _translate_fix(construct, desugarer)
+
+    raise ProofTranslationError(f"unknown proof construct {type(construct)!r}")
+
+
+def _translate_fix(construct: Fix, desugarer) -> SimpleCommand:
+    """Figure 12: the ``fix`` construct with executable code in its body."""
+    from ..gcl.extended import assigned_variables
+
+    modified = assigned_variables(construct.body)
+    overlap = set(construct.variables) & set(modified)
+    if overlap:
+        raise ProofTranslationError(
+            f"fix body must not modify the fixed variables {sorted(v.name for v in overlap)}"
+        )
+    # Save the modified variables so the constraint F' refers to their values
+    # at the start of the fix block.
+    saves: list[SimpleCommand] = []
+    renaming: dict[Var, Term] = {}
+    for var in modified:
+        saved = Var(desugarer.fresh.fresh(f"{var.name}_at_fix"), var.sort)
+        renaming[var] = saved
+        saves.append(SHavoc((saved,)))
+        saves.append(SAssume(b.Eq(saved, var), "FixSnapshot"))
+    constraint = substitute(construct.such_that, renaming)
+    exported = b.ForAll(
+        list(construct.variables), b.Implies(constraint, construct.goal)
+    )
+    existential = b.Exists(list(construct.variables), constraint)
+    return sseq(
+        *saves,
+        SAssert(existential, f"{construct.label}_exists"),
+        SHavoc(construct.variables),
+        SAssume(constraint, f"{construct.label}_fixed"),
+        desugarer.desugar(construct.body),
+        SAssert(construct.goal, construct.label),
+        SAssume(exported, construct.label),
+    )

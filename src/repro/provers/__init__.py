@@ -1,0 +1,25 @@
+"""The integrated reasoning portfolio: provers and the dispatcher."""
+
+from .dispatch import DispatchResult, PortfolioEntry, ProverPortfolio, default_portfolio
+from .fol import FolProver
+from .interface import Prover
+from .model_finder import FiniteModelFinder
+from .result import Budget, Outcome, ProofTask, ProverResult
+from .setsolver import SetCardinalityProver
+from .smt import SmtProver
+
+__all__ = [
+    "Budget",
+    "DispatchResult",
+    "FiniteModelFinder",
+    "FolProver",
+    "Outcome",
+    "PortfolioEntry",
+    "ProofTask",
+    "Prover",
+    "ProverPortfolio",
+    "ProverResult",
+    "SetCardinalityProver",
+    "SmtProver",
+    "default_portfolio",
+]

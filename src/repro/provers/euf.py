@@ -1,0 +1,176 @@
+"""Congruence closure for ground equality reasoning (EUF).
+
+This component plays the role of the equality core of the SMT provers Jahob
+delegates to.  Given a set of ground equalities and disequalities over terms
+(uninterpreted functions, constants, interpreted function symbols treated as
+uninterpreted), it decides satisfiability by congruence closure, and exposes
+the equivalence classes so the arithmetic solver can exchange equalities with
+it (a lightweight Nelson-Oppen combination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic.terms import App, Binder, BoolLit, Const, IntLit, Term, Var
+
+__all__ = ["CongruenceClosure", "EufConflict"]
+
+
+@dataclass
+class EufConflict:
+    """A detected conflict: the disequality violated by the closure."""
+
+    left: Term
+    right: Term
+    reason: str = ""
+
+
+class CongruenceClosure:
+    """Incremental congruence closure over ground terms.
+
+    Terms are interned into integer node ids.  Function applications are
+    curried into ``(op, child_ids)`` signatures for congruence detection.
+    Binders are treated as opaque constants (they are ground lambdas or
+    comprehensions that survived simplification).
+    """
+
+    def __init__(self) -> None:
+        self._ids: dict[Term, int] = {}
+        self._terms: list[Term] = []
+        self._parent: list[int] = []
+        self._rank: list[int] = []
+        self._signature: dict[tuple, int] = {}
+        self._uses: list[list[int]] = []  # node -> application nodes using it
+        self._args: list[tuple[str, tuple[int, ...]] | None] = []
+        self._disequalities: list[tuple[int, int, Term, Term]] = []
+        self._pending: list[tuple[int, int]] = []
+
+    # -- interning -------------------------------------------------------------
+
+    def intern(self, term: Term) -> int:
+        """Intern ``term`` (and its subterms) and return its node id."""
+        if term in self._ids:
+            return self._ids[term]
+        if isinstance(term, App):
+            child_ids = tuple(self.intern(arg) for arg in term.args)
+            node = self._new_node(term, (term.op, child_ids))
+            for child in child_ids:
+                self._uses[self.find(child)].append(node)
+            self._update_signature(node)
+        elif isinstance(term, (Var, Const, IntLit, BoolLit, Binder)):
+            node = self._new_node(term, None)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot intern {type(term)!r}")
+        return node
+
+    def _new_node(self, term: Term, args) -> int:
+        node = len(self._terms)
+        self._ids[term] = node
+        self._terms.append(term)
+        self._parent.append(node)
+        self._rank.append(0)
+        self._uses.append([])
+        self._args.append(args)
+        return node
+
+    # -- union-find --------------------------------------------------------------
+
+    def find(self, node: int) -> int:
+        root = node
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[node] != root:
+            self._parent[node], node = root, self._parent[node]
+        return root
+
+    def _union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._uses[ra].extend(self._uses[rb])
+        return ra
+
+    def _update_signature(self, node: int) -> None:
+        args = self._args[node]
+        if args is None:
+            return
+        op, child_ids = args
+        signature = (op, tuple(self.find(c) for c in child_ids))
+        existing = self._signature.get(signature)
+        if existing is None:
+            self._signature[signature] = node
+        elif self.find(existing) != self.find(node):
+            self._pending.append((existing, node))
+
+    # -- public API ---------------------------------------------------------------
+
+    def assert_equal(self, left: Term, right: Term) -> None:
+        """Assert ``left = right``."""
+        self._pending.append((self.intern(left), self.intern(right)))
+        self._process()
+
+    def assert_distinct(self, left: Term, right: Term) -> None:
+        """Assert ``left != right``."""
+        lid, rid = self.intern(left), self.intern(right)
+        self._disequalities.append((lid, rid, left, right))
+
+    def are_equal(self, left: Term, right: Term) -> bool:
+        """True when the closure entails ``left = right``."""
+        return self.find(self.intern(left)) == self.find(self.intern(right))
+
+    def check(self) -> EufConflict | None:
+        """Return a conflict if some asserted disequality is violated, or if
+        two distinct integer/boolean literals were merged."""
+        self._process()
+        for lid, rid, left, right in self._disequalities:
+            if self.find(lid) == self.find(rid):
+                return EufConflict(left, right, "disequality violated")
+        # Distinct literals must not be merged.
+        literal_classes: dict[int, Term] = {}
+        for term, node in self._ids.items():
+            if isinstance(term, (IntLit, BoolLit)):
+                root = self.find(node)
+                other = literal_classes.get(root)
+                if other is not None and other != term:
+                    return EufConflict(other, term, "distinct literals merged")
+                literal_classes[root] = term
+        return None
+
+    def _process(self) -> None:
+        while self._pending:
+            a, b = self._pending.pop()
+            ra, rb = self.find(a), self.find(b)
+            if ra == rb:
+                continue
+            users = list(self._uses[ra]) + list(self._uses[rb])
+            self._union(ra, rb)
+            for user in users:
+                self._update_signature(user)
+
+    # -- class inspection -----------------------------------------------------------
+
+    def equivalence_classes(self) -> list[list[Term]]:
+        """Return the current equivalence classes (lists of terms)."""
+        classes: dict[int, list[Term]] = {}
+        for term, node in self._ids.items():
+            classes.setdefault(self.find(node), []).append(term)
+        return list(classes.values())
+
+    def implied_equalities(self, terms: list[Term]) -> list[tuple[Term, Term]]:
+        """Pairs among ``terms`` the closure has identified as equal."""
+        by_class: dict[int, list[Term]] = {}
+        for term in terms:
+            if term in self._ids:
+                by_class.setdefault(self.find(self._ids[term]), []).append(term)
+        pairs: list[tuple[Term, Term]] = []
+        for members in by_class.values():
+            representative = members[0]
+            for other in members[1:]:
+                pairs.append((representative, other))
+        return pairs

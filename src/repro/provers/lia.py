@@ -1,0 +1,273 @@
+"""Linear integer arithmetic: linearisation and a Fourier-Motzkin solver.
+
+This component is the arithmetic theory of the SMT-lite prover and the
+backend of the BAPA-style set-cardinality reasoner.  Integer-sorted terms
+that are not themselves arithmetic (variables, ``select`` applications,
+``card`` applications, uninterpreted function applications) are treated as
+*atoms*, i.e. opaque integer unknowns.
+
+Satisfiability checking works over the rationals via Fourier-Motzkin
+elimination with exact :class:`fractions.Fraction` arithmetic.  Because a
+rationally infeasible system is certainly integer-infeasible, reporting
+``infeasible`` is sound for refutation-based proving; integer-feasible-only
+gaps merely make the prover incomplete (never unsound).  Strict integer
+inequalities are tightened (``a < b`` becomes ``a + 1 <= b``) before the
+rational check, which recovers most of the integer reasoning the benchmark
+verification conditions need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..logic.sorts import INT
+from ..logic.terms import App, IntLit, Term
+
+__all__ = ["LinearExpr", "linearize", "LinearSolver", "LinearConstraint"]
+
+
+@dataclass(frozen=True)
+class LinearExpr:
+    """A linear expression ``sum(coeff * atom) + constant``."""
+
+    coeffs: tuple[tuple[Term, Fraction], ...] = ()
+    constant: Fraction = Fraction(0)
+
+    @staticmethod
+    def of_constant(value: int | Fraction) -> "LinearExpr":
+        return LinearExpr((), Fraction(value))
+
+    @staticmethod
+    def of_atom(atom: Term) -> "LinearExpr":
+        return LinearExpr(((atom, Fraction(1)),), Fraction(0))
+
+    def _as_dict(self) -> dict[Term, Fraction]:
+        return dict(self.coeffs)
+
+    @staticmethod
+    def _from_dict(coeffs: dict[Term, Fraction], constant: Fraction) -> "LinearExpr":
+        items = tuple(
+            (atom, coeff)
+            for atom, coeff in sorted(coeffs.items(), key=lambda kv: repr(kv[0]))
+            if coeff != 0
+        )
+        return LinearExpr(items, constant)
+
+    def add(self, other: "LinearExpr") -> "LinearExpr":
+        coeffs = self._as_dict()
+        for atom, coeff in other.coeffs:
+            coeffs[atom] = coeffs.get(atom, Fraction(0)) + coeff
+        return LinearExpr._from_dict(coeffs, self.constant + other.constant)
+
+    def scale(self, factor: int | Fraction) -> "LinearExpr":
+        factor = Fraction(factor)
+        coeffs = {atom: coeff * factor for atom, coeff in self.coeffs}
+        return LinearExpr._from_dict(coeffs, self.constant * factor)
+
+    def sub(self, other: "LinearExpr") -> "LinearExpr":
+        return self.add(other.scale(-1))
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    @property
+    def atoms(self) -> tuple[Term, ...]:
+        return tuple(atom for atom, _ in self.coeffs)
+
+    def coefficient(self, atom: Term) -> Fraction:
+        for a, c in self.coeffs:
+            if a == atom:
+                return c
+        return Fraction(0)
+
+
+def linearize(term: Term) -> LinearExpr:
+    """Convert an integer-sorted term into a linear expression.
+
+    Non-linear subterms (products of two non-constant terms, ``div``/``mod``
+    applications) are treated as opaque atoms.
+    """
+    if isinstance(term, IntLit):
+        return LinearExpr.of_constant(term.value)
+    if isinstance(term, App):
+        if term.op == "add":
+            result = LinearExpr.of_constant(0)
+            for arg in term.args:
+                result = result.add(linearize(arg))
+            return result
+        if term.op == "sub":
+            return linearize(term.args[0]).sub(linearize(term.args[1]))
+        if term.op == "neg":
+            return linearize(term.args[0]).scale(-1)
+        if term.op == "mul":
+            left, right = term.args
+            left_lin = linearize(left)
+            right_lin = linearize(right)
+            if left_lin.is_constant:
+                return right_lin.scale(left_lin.constant)
+            if right_lin.is_constant:
+                return left_lin.scale(right_lin.constant)
+            return LinearExpr.of_atom(term)
+    if term.sort != INT:
+        raise ValueError(f"cannot linearise non-integer term {term}")
+    return LinearExpr.of_atom(term)
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """A constraint ``expr <= 0`` (``is_equality`` makes it ``expr = 0``)."""
+
+    expr: LinearExpr
+    is_equality: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        relation = "=" if self.is_equality else "<="
+        parts = [f"{coeff}*{atom}" for atom, coeff in self.expr.coeffs]
+        parts.append(str(self.expr.constant))
+        return " + ".join(parts) + f" {relation} 0"
+
+
+class LinearSolver:
+    """Conjunction of linear constraints with Fourier-Motzkin feasibility."""
+
+    def __init__(self, max_constraints: int = 4000) -> None:
+        self.constraints: list[LinearConstraint] = []
+        self.max_constraints = max_constraints
+
+    def copy(self) -> "LinearSolver":
+        clone = LinearSolver(self.max_constraints)
+        clone.constraints = list(self.constraints)
+        return clone
+
+    # -- constraint entry -------------------------------------------------------
+
+    def add_le(self, expr: LinearExpr) -> None:
+        """Add ``expr <= 0``."""
+        self.constraints.append(LinearConstraint(expr, False))
+
+    def add_eq(self, expr: LinearExpr) -> None:
+        """Add ``expr = 0``."""
+        self.constraints.append(LinearConstraint(expr, True))
+
+    def add_le_terms(self, left: Term, right: Term) -> None:
+        """Add ``left <= right``."""
+        self.add_le(linearize(left).sub(linearize(right)))
+
+    def add_lt_terms(self, left: Term, right: Term) -> None:
+        """Add ``left < right`` (integer-tightened to ``left + 1 <= right``)."""
+        self.add_le(linearize(left).sub(linearize(right)).add(LinearExpr.of_constant(1)))
+
+    def add_eq_terms(self, left: Term, right: Term) -> None:
+        """Add ``left = right``."""
+        self.add_eq(linearize(left).sub(linearize(right)))
+
+    # -- feasibility ------------------------------------------------------------
+
+    def is_infeasible(self) -> bool:
+        """True when the constraint set is infeasible over the rationals.
+
+        Returns False both when feasible and when the elimination exceeds the
+        constraint budget (the sound direction for a refutation prover).
+        """
+        try:
+            return self._check_infeasible()
+        except _BudgetExceeded:
+            return False
+
+    def entails_le(self, expr: LinearExpr) -> bool:
+        """True when the constraints entail ``expr <= 0`` (over integers)."""
+        probe = self.copy()
+        # Negation over integers: expr >= 1, i.e. 1 - expr <= 0.
+        probe.add_le(LinearExpr.of_constant(1).sub(expr))
+        return probe.is_infeasible()
+
+    def entails_eq(self, left: Term, right: Term) -> bool:
+        """True when the constraints entail ``left = right``."""
+        difference = linearize(left).sub(linearize(right))
+        return self.entails_le(difference) and self.entails_le(difference.scale(-1))
+
+    def implied_equalities(self, atoms: list[Term]) -> list[tuple[Term, Term]]:
+        """Pairs among ``atoms`` that the constraints force to be equal.
+
+        Used for the Nelson-Oppen style exchange with congruence closure.
+        The quadratic pairwise check is capped to keep the cost bounded.
+        """
+        pairs: list[tuple[Term, Term]] = []
+        limit = 6
+        atoms = atoms[:limit]
+        for i, left in enumerate(atoms):
+            for right in atoms[i + 1:]:
+                if self.entails_eq(left, right):
+                    pairs.append((left, right))
+        return pairs
+
+    # -- Fourier-Motzkin ---------------------------------------------------------
+
+    def _normalised(self) -> list[LinearExpr] | None:
+        """Expand equalities into inequality pairs; returns ``expr <= 0`` rows."""
+        rows: list[LinearExpr] = []
+        for constraint in self.constraints:
+            rows.append(constraint.expr)
+            if constraint.is_equality:
+                rows.append(constraint.expr.scale(-1))
+        return rows
+
+    def _check_infeasible(self) -> bool:
+        rows = self._normalised()
+        # Iteratively eliminate atoms.
+        while True:
+            # Constant rows decide immediately.
+            pending: list[LinearExpr] = []
+            for row in rows:
+                if row.is_constant:
+                    if row.constant > 0:
+                        return True
+                else:
+                    pending.append(row)
+            rows = pending
+            if not rows:
+                return False
+            atom = self._pick_atom(rows)
+            rows = self._eliminate(rows, atom)
+            if len(rows) > self.max_constraints:
+                raise _BudgetExceeded()
+
+    @staticmethod
+    def _pick_atom(rows: list[LinearExpr]) -> Term:
+        occurrences: dict[Term, tuple[int, int]] = {}
+        for row in rows:
+            for atom, coeff in row.coeffs:
+                pos, neg = occurrences.get(atom, (0, 0))
+                if coeff > 0:
+                    pos += 1
+                else:
+                    neg += 1
+                occurrences[atom] = (pos, neg)
+        return min(occurrences, key=lambda a: occurrences[a][0] * occurrences[a][1])
+
+    @staticmethod
+    def _eliminate(rows: list[LinearExpr], atom: Term) -> list[LinearExpr]:
+        upper: list[LinearExpr] = []  # rows where coeff > 0  (atom <= ...)
+        lower: list[LinearExpr] = []  # rows where coeff < 0  (atom >= ...)
+        rest: list[LinearExpr] = []
+        for row in rows:
+            coeff = row.coefficient(atom)
+            if coeff > 0:
+                upper.append(row.scale(Fraction(1) / coeff))
+            elif coeff < 0:
+                lower.append(row.scale(Fraction(1) / -coeff))
+            else:
+                rest.append(row)
+        for up in upper:
+            for low in lower:
+                combined = up.add(low)
+                # ``atom`` cancels by construction.
+                coeffs = {a: c for a, c in combined.coeffs if a != atom}
+                rest.append(LinearExpr._from_dict(coeffs, combined.constant))
+        return rest
+
+
+class _BudgetExceeded(Exception):
+    pass

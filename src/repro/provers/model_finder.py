@@ -1,0 +1,113 @@
+"""A finite model finder used as a refuter.
+
+Jahob's portfolio only needs provers that *establish* sequents; this
+additional component searches small finite interpretations for a
+counter-model of a sequent.  A found counter-model means the sequent is not
+valid (``REFUTED``), which is invaluable while developing specifications and
+proof annotations, and which the test suite uses to make sure the other
+provers never claim such sequents.
+
+The search enumerates assignments to the free variables of the sequent over
+a small object universe and a small integer range.  Sequents mentioning
+uninterpreted function symbols or map-valued/set-valued variables with large
+value spaces are declined (UNKNOWN).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..logic import builder as b
+from ..logic.evaluator import EvaluationError, Interpretation
+from ..logic.simplify import simplify
+from ..logic.sorts import BOOL, INT, OBJ, SetSort
+from ..logic.terms import Term, Var, free_vars, function_symbols, term_size
+from .interface import Prover
+from .result import Budget, Outcome, ProofTask, ProverResult
+
+__all__ = ["FiniteModelFinder"]
+
+
+class FiniteModelFinder(Prover):
+    """Brute-force counter-model search over small universes."""
+
+    name = "model-finder"
+
+    def __init__(
+        self,
+        objects: tuple[object, ...] = ("o0", "o1"),
+        int_values: tuple[int, ...] = (-1, 0, 1, 2),
+        max_formula_size: int = 400,
+        max_assignments: int = 30000,
+    ) -> None:
+        self.objects = objects
+        self.int_values = int_values
+        self.max_formula_size = max_formula_size
+        self.max_assignments = max_assignments
+
+    def attempt(self, task: ProofTask, budget: Budget) -> ProverResult:
+        formula = simplify(
+            b.Implies(b.And(*task.assumption_formulas), task.goal)
+        )
+        if term_size(formula) > self.max_formula_size:
+            return ProverResult(Outcome.UNKNOWN, reason="formula too large")
+        symbols = function_symbols(formula) - {"null"}
+        if symbols:
+            return ProverResult(
+                Outcome.UNKNOWN,
+                reason=f"uninterpreted symbols present: {sorted(symbols)[:3]}",
+            )
+        variables = sorted(free_vars(formula), key=lambda v: v.name)
+        base = Interpretation(
+            objects=self.objects,
+            int_range=(min(self.int_values), max(self.int_values)),
+        )
+        spaces: list[list[object]] = []
+        for var in variables:
+            if var.sort == INT:
+                spaces.append(list(self.int_values))
+            elif var.sort in (OBJ, BOOL) or isinstance(var.sort, SetSort):
+                try:
+                    spaces.append(base.domain(var.sort))
+                except EvaluationError:
+                    return ProverResult(
+                        Outcome.UNKNOWN, reason=f"cannot enumerate {var.sort}"
+                    )
+            else:
+                return ProverResult(
+                    Outcome.UNKNOWN, reason=f"cannot enumerate {var.sort}"
+                )
+        total = 1
+        for space in spaces:
+            total *= max(len(space), 1)
+            if total > self.max_assignments:
+                return ProverResult(Outcome.UNKNOWN, reason="search space too large")
+        checked = 0
+        for combo in itertools.product(*spaces):
+            if checked % 256 == 0:
+                budget.check()
+            checked += 1
+            interp = base.with_variables(
+                dict(zip((v.name for v in variables), combo))
+            )
+            try:
+                value = interp_holds(formula, interp)
+            except EvaluationError:
+                return ProverResult(Outcome.UNKNOWN, reason="evaluation failed")
+            if not value:
+                return ProverResult(
+                    Outcome.REFUTED,
+                    reason="counter-model found",
+                    countermodel=dict(zip((v.name for v in variables), combo)),
+                )
+        return ProverResult(
+            Outcome.UNKNOWN,
+            reason=f"no counter-model over {len(self.objects)} objects / "
+            f"ints {self.int_values}",
+        )
+
+
+def interp_holds(formula: Term, interp: Interpretation) -> bool:
+    from ..logic.evaluator import holds
+
+    return holds(formula, interp)

@@ -1,0 +1,223 @@
+"""Heuristic quantifier instantiation (E-matching lite).
+
+Fully automated reasoning about the quantified facts in data structure
+verification conditions is the part the paper identifies as intractable in
+general; like the SMT provers Jahob calls, this module applies *heuristic*
+instantiation:
+
+* bound variables are instantiated with ground terms drawn from the problem,
+* candidates are filtered by *positional triggers*: if a bound variable
+  ``x`` occurs in the quantified body as an argument of ``select(m, x)`` or
+  ``f(..., x, ...)``, then only ground terms that occur in the same argument
+  position of the same symbol anywhere in the ground part are considered,
+* the number of candidates per variable and the total number of
+  instantiations per round are capped.
+
+The result is sound (instantiation only weakens a universally quantified
+assumption) and in practice sufficient once the developer has used the
+integrated proof language to identify lemmas, witnesses and instantiations
+as described in the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..logic.simplify import simplify
+from ..logic.sorts import BOOL, Sort
+from ..logic.subst import substitute
+from ..logic.terms import (
+    FORALL,
+    App,
+    Binder,
+    BoolLit,
+    Const,
+    IntLit,
+    Term,
+    Var,
+    free_vars,
+    subterms,
+)
+
+__all__ = ["InstantiationEngine", "QuantifiedAxiom", "collect_ground_terms"]
+
+
+@dataclass
+class QuantifiedAxiom:
+    """A universally quantified assumption awaiting instantiation."""
+
+    params: tuple[Var, ...]
+    body: Term
+    source: Term
+    produced: set[tuple[Term, ...]] = field(default_factory=set)
+
+
+def _rigid_subterms(term: Term):
+    """Subterms of a refutation-level formula, not descending into binders.
+
+    At the level of a proof task, every free variable denotes a fixed (rigid)
+    program value, so such subterms are legitimate instantiation candidates;
+    only variables bound by a quantifier inside the formula must be excluded,
+    which is achieved by not descending into binder bodies.
+    """
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, Binder):
+            continue
+        stack.extend(reversed(current.children()))
+
+
+def collect_ground_terms(formulas: list[Term]) -> dict[Sort, list[Term]]:
+    """Collect rigid non-boolean subterms grouped by sort."""
+    by_sort: dict[Sort, list[Term]] = {}
+    seen: set[Term] = set()
+    for formula in formulas:
+        for sub in _rigid_subterms(formula):
+            if sub.sort == BOOL or isinstance(sub, Binder):
+                continue
+            if sub in seen:
+                continue
+            seen.add(sub)
+            by_sort.setdefault(sub.sort, []).append(sub)
+    return by_sort
+
+
+def _argument_positions(term: Term, var: Var) -> set[tuple[str, int]]:
+    """Positions ``(function symbol, argument index)`` where ``var`` occurs."""
+    positions: set[tuple[str, int]] = set()
+    for sub in subterms(term):
+        if isinstance(sub, App):
+            for index, arg in enumerate(sub.args):
+                if arg == var:
+                    positions.add((sub.op, index))
+    return positions
+
+
+def _ground_terms_at_positions(
+    formulas: list[Term], positions: set[tuple[str, int]]
+) -> list[Term]:
+    found: list[Term] = []
+    seen: set[Term] = set()
+    for formula in formulas:
+        for sub in _rigid_subterms(formula):
+            if isinstance(sub, App):
+                for index, arg in enumerate(sub.args):
+                    if (sub.op, index) in positions and not isinstance(arg, Binder):
+                        if arg not in seen:
+                            seen.add(arg)
+                            found.append(arg)
+    return found
+
+
+class InstantiationEngine:
+    """Round-based heuristic instantiation of universally quantified facts."""
+
+    def __init__(
+        self,
+        max_rounds: int = 3,
+        max_candidates_per_var: int = 8,
+        max_instances_per_round: int = 600,
+        max_total_instances: int = 2500,
+    ) -> None:
+        self.max_rounds = max_rounds
+        self.max_candidates_per_var = max_candidates_per_var
+        self.max_instances_per_round = max_instances_per_round
+        self.max_total_instances = max_total_instances
+        self.axioms: list[QuantifiedAxiom] = []
+        self.total_instances = 0
+
+    def add_axiom(self, formula: Term) -> None:
+        """Register a universally quantified assumption."""
+        if isinstance(formula, Binder) and formula.kind == FORALL:
+            self.axioms.append(
+                QuantifiedAxiom(formula.param_vars, formula.body, formula)
+            )
+
+    def candidates(
+        self,
+        var: Var,
+        body: Term,
+        ground_formulas: list[Term],
+        by_sort: dict[Sort, list[Term]],
+        priority: list[Term],
+    ) -> list[Term]:
+        """Candidate ground terms for instantiating ``var``."""
+        positions = _argument_positions(body, var)
+        candidates: list[Term] = []
+        if positions:
+            candidates = [
+                t
+                for t in _ground_terms_at_positions(ground_formulas, positions)
+                if t.sort == var.sort
+            ]
+        if not candidates:
+            candidates = list(by_sort.get(var.sort, []))
+        # Prefer terms appearing in the goal, then smaller terms.
+        priority_set = set()
+        for formula in priority:
+            for sub in subterms(formula):
+                priority_set.add(sub)
+
+        def rank(term: Term) -> tuple[int, int]:
+            return (0 if term in priority_set else 1, len(str(term)))
+
+        candidates.sort(key=rank)
+        # Always provide simple literal fallbacks for integer variables so
+        # boundary cases (0, size, ...) are considered.
+        return candidates[: self.max_candidates_per_var]
+
+    def round(
+        self,
+        ground_formulas: list[Term],
+        priority: list[Term],
+    ) -> list[Term]:
+        """Produce one round of new ground instances."""
+        by_sort = collect_ground_terms(ground_formulas + priority)
+        produced: list[Term] = []
+        produced_count = 0
+        for axiom in self.axioms:
+            if produced_count >= self.max_instances_per_round:
+                break
+            if self.total_instances >= self.max_total_instances:
+                break
+            candidate_lists = [
+                self.candidates(var, axiom.body, ground_formulas, by_sort, priority)
+                for var in axiom.params
+            ]
+            if any(not candidates for candidates in candidate_lists):
+                continue
+            for combo in itertools.product(*candidate_lists):
+                if combo in axiom.produced:
+                    continue
+                axiom.produced.add(combo)
+                mapping = dict(zip(axiom.params, combo))
+                instance = simplify(substitute(axiom.body, mapping))
+                self.total_instances += 1
+                produced_count += 1
+                if isinstance(instance, BoolLit) and instance.value:
+                    continue
+                produced.append(instance)
+                if (
+                    produced_count >= self.max_instances_per_round
+                    or self.total_instances >= self.max_total_instances
+                ):
+                    break
+        return produced
+
+    def saturate(
+        self, ground_formulas: list[Term], priority: list[Term]
+    ) -> list[Term]:
+        """Run up to ``max_rounds`` rounds, feeding new instances back in."""
+        all_ground = list(ground_formulas)
+        new_instances: list[Term] = []
+        for _ in range(self.max_rounds):
+            produced = self.round(all_ground, priority)
+            fresh = [f for f in produced if f not in all_ground]
+            if not fresh:
+                break
+            new_instances.extend(fresh)
+            all_ground.extend(fresh)
+        return new_instances

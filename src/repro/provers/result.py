@@ -1,0 +1,127 @@
+"""Prover results, tasks and resource budgets."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..logic.terms import Term
+
+
+class Outcome(Enum):
+    """Outcome of a prover invocation on a proof task."""
+
+    PROVED = "proved"
+    REFUTED = "refuted"
+    UNKNOWN = "unknown"
+    TIMEOUT = "timeout"
+
+    @property
+    def is_proved(self) -> bool:
+        return self is Outcome.PROVED
+
+
+@dataclass(frozen=True)
+class ProofTask:
+    """A sequent handed to a prover: named assumptions and a goal.
+
+    ``assumptions`` is a tuple of ``(name, formula)`` pairs -- the assumption
+    base.  The prover must establish that the conjunction of the assumptions
+    entails ``goal``.
+    """
+
+    assumptions: tuple[tuple[str, Term], ...]
+    goal: Term
+    label: str = ""
+
+    @property
+    def assumption_formulas(self) -> tuple[Term, ...]:
+        return tuple(formula for _, formula in self.assumptions)
+
+    def restricted_to(self, names: set[str] | frozenset[str]) -> "ProofTask":
+        """Keep only the assumptions whose name is in ``names``."""
+        kept = tuple(
+            (name, formula) for name, formula in self.assumptions if name in names
+        )
+        return ProofTask(kept, self.goal, self.label)
+
+
+@dataclass
+class ProverResult:
+    """The result of running a prover on a proof task."""
+
+    outcome: Outcome
+    prover: str = ""
+    elapsed: float = 0.0
+    reason: str = ""
+    countermodel: object = None
+
+    @property
+    def is_proved(self) -> bool:
+        return self.outcome is Outcome.PROVED
+
+
+class Budget:
+    """A cooperative deadline shared by the components of a prover run."""
+
+    def __init__(self, seconds: float | None) -> None:
+        self.seconds = seconds
+        self.start = time.monotonic()
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.start
+
+    def remaining(self) -> float:
+        if self.seconds is None:
+            return float("inf")
+        return self.seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExpired` when the deadline has passed."""
+        if self.expired():
+            raise BudgetExpired()
+
+
+class BudgetExpired(Exception):
+    """Raised internally by provers when their time budget runs out."""
+
+
+@dataclass
+class ProverStatistics:
+    """Aggregated statistics of a dispatcher run (per prover)."""
+
+    attempts: int = 0
+    proved: int = 0
+    time_spent: float = 0.0
+
+    def record(self, result: ProverResult) -> None:
+        self.attempts += 1
+        self.time_spent += result.elapsed
+        if result.is_proved:
+            self.proved += 1
+
+
+@dataclass
+class PortfolioStatistics:
+    """Statistics for an entire portfolio run."""
+
+    per_prover: dict[str, ProverStatistics] = field(default_factory=dict)
+    sequents_attempted: int = 0
+    sequents_proved: int = 0
+
+    def record(self, prover: str, result: ProverResult) -> None:
+        stats = self.per_prover.setdefault(prover, ProverStatistics())
+        stats.record(result)
+
+    def merge(self, other: "PortfolioStatistics") -> None:
+        self.sequents_attempted += other.sequents_attempted
+        self.sequents_proved += other.sequents_proved
+        for name, stats in other.per_prover.items():
+            mine = self.per_prover.setdefault(name, ProverStatistics())
+            mine.attempts += stats.attempts
+            mine.proved += stats.proved
+            mine.time_spent += stats.time_spent

@@ -1,0 +1,185 @@
+"""Shared preprocessing for the refutation-based provers.
+
+Given a proof task (assumption base + goal) the provers refute
+``assumptions AND NOT goal``.  This module performs the common
+normalisation steps:
+
+1. simplification / comprehension elimination (:mod:`repro.logic.simplify`),
+2. negation normal form and Skolemization of existentials,
+3. prenexing, so that every processed conjunct is either *ground* or a
+   single universally quantified axiom suitable for heuristic instantiation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logic import builder as b
+from ..logic.nnf import prenex, skolemize, to_nnf
+from ..logic.simplify import simplify
+from ..logic.subst import FreshNameGenerator
+from ..logic.terms import (
+    FORALL,
+    App,
+    Binder,
+    BoolLit,
+    Term,
+    contains_quantifier,
+    free_vars,
+    function_symbols,
+)
+from .result import ProofTask
+
+__all__ = ["PreparedTask", "prepare", "split_conjuncts"]
+
+
+@dataclass
+class PreparedTask:
+    """The refutation problem in clause-friendly shape."""
+
+    ground: list[Term] = field(default_factory=list)
+    axioms: list[Term] = field(default_factory=list)  # universally quantified
+    goal_hint: list[Term] = field(default_factory=list)  # original goal parts
+    trivially_proved: bool = False
+
+
+def split_conjuncts(formula: Term) -> list[Term]:
+    """Flatten top-level conjunctions."""
+    if isinstance(formula, App) and formula.op == "and":
+        out: list[Term] = []
+        for arg in formula.args:
+            out.extend(split_conjuncts(arg))
+        return out
+    return [formula]
+
+
+def prepare(task: ProofTask) -> PreparedTask:
+    """Normalise ``task`` into ground facts plus universal axioms.
+
+    The returned facts are the conjuncts of ``assumptions AND NOT goal``; the
+    task is proved when they are unsatisfiable.
+    """
+    prepared = PreparedTask()
+    goal = simplify(task.goal)
+    if isinstance(goal, BoolLit) and goal.value:
+        prepared.trivially_proved = True
+        return prepared
+    if _assumptions_trivially_false(task):
+        prepared.trivially_proved = True
+        return prepared
+    formulas: list[Term] = [simplify(f) for f in task.assumption_formulas]
+    negated_goal = simplify(b.Not(goal))
+    formulas.append(negated_goal)
+    prepared.goal_hint = split_conjuncts(simplify(goal)) + [negated_goal]
+
+    # One fresh-name generator across all formulas keeps Skolem symbols
+    # distinct between assumptions.
+    used: set[str] = set()
+    for formula in formulas:
+        used |= {v.name for v in free_vars(formula)}
+        used |= set(function_symbols(formula))
+    fresh = FreshNameGenerator(used)
+
+    for index, formula in enumerate(formulas):
+        is_negated_goal = index == len(formulas) - 1
+        if isinstance(formula, BoolLit):
+            if not formula.value:
+                prepared.trivially_proved = True
+                return prepared
+            continue
+        for conjunct in split_conjuncts(formula):
+            if not contains_quantifier(conjunct):
+                prepared.ground.append(conjunct)
+                if is_negated_goal:
+                    prepared.goal_hint.append(conjunct)
+                continue
+            normal = prenex(skolemize(to_nnf(conjunct), fresh))
+            for piece in split_conjuncts(normal):
+                if isinstance(piece, Binder) and piece.kind == FORALL:
+                    prepared.axioms.append(piece)
+                elif isinstance(piece, BoolLit):
+                    if not piece.value:
+                        prepared.trivially_proved = True
+                        return prepared
+                else:
+                    # Ground piece (possibly with residual nested
+                    # quantification inside a lambda, kept opaque).  Pieces of
+                    # the negated goal are instantiation priorities: their
+                    # Skolem constants are exactly the terms the quantified
+                    # assumptions must be instantiated with.
+                    prepared.ground.append(piece)
+                    if is_negated_goal:
+                        prepared.goal_hint.append(piece)
+    _inline_definitions(prepared)
+    return prepared
+
+
+def _assumptions_trivially_false(task: ProofTask) -> bool:
+    return any(
+        isinstance(simplify(f), BoolLit) and not simplify(f).value
+        for f in task.assumption_formulas
+    )
+
+
+_MAX_INLINE_ROUNDS = 8
+
+
+def _inline_definitions(prepared: PreparedTask) -> None:
+    """Inline ground definitional equalities ``v = t`` into the whole task.
+
+    The guarded-command translation of assignments (Figure 6 of the paper)
+    produces chains of ``assume v = F`` facts; inlining them exposes
+    select-over-store patterns to the simplifier and keeps the atom count
+    seen by the ground solver small.  The equalities themselves are kept, so
+    the transformation preserves both soundness and provability.
+    """
+    from ..logic.subst import substitute
+    from ..logic.terms import Var, free_vars
+
+    for _ in range(_MAX_INLINE_ROUNDS):
+        definitions: dict[Var, Term] = {}
+        for conjunct in prepared.ground:
+            if not (isinstance(conjunct, App) and conjunct.op == "eq"):
+                continue
+            left, right = conjunct.args
+            for var, value in ((left, right), (right, left)):
+                if not isinstance(var, Var) or var in definitions:
+                    continue
+                if var in free_vars(value):
+                    continue
+                if any(v in definitions for v in free_vars(value)):
+                    continue
+                definitions[var] = value
+                break
+        if not definitions:
+            return
+        changed = False
+
+        def apply(formula: Term) -> Term:
+            nonlocal changed
+            replaced = substitute(formula, definitions)
+            if replaced is not formula and replaced != formula:
+                changed = True
+                return simplify(replaced)
+            return formula
+
+        new_ground = []
+        for conjunct in prepared.ground:
+            if (
+                isinstance(conjunct, App)
+                and conjunct.op == "eq"
+                and (
+                    (isinstance(conjunct.args[0], Var) and definitions.get(conjunct.args[0]) == conjunct.args[1])
+                    or (isinstance(conjunct.args[1], Var) and definitions.get(conjunct.args[1]) == conjunct.args[0])
+                )
+            ):
+                # Keep the definition itself un-inlined (it would rewrite to
+                # the trivial ``t = t``); the equality still informs EUF.
+                new_ground.append(conjunct)
+            else:
+                new_ground.append(apply(conjunct))
+        prepared.ground = new_ground
+        prepared.axioms = [apply(a) for a in prepared.axioms]
+        prepared.goal_hint = [apply(g) for g in prepared.goal_hint]
+        if not changed:
+            return

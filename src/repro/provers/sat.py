@@ -1,0 +1,370 @@
+"""A CDCL propositional SAT solver.
+
+This is the boolean core of the SMT-lite prover (the stand-in for the
+CVC3/Z3 back-ends Jahob dispatches to).  It implements the standard
+conflict-driven clause learning loop:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning,
+* non-chronological backjumping,
+* VSIDS-style activity-based decision heuristic with decay,
+* restarts on a Luby-like schedule.
+
+Variables are positive integers; literals are signed integers (DIMACS
+convention).  The solver is deliberately self-contained so it can be tested
+exhaustively against a brute-force oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SatSolver", "SatResult", "Tseitin"]
+
+
+@dataclass
+class SatResult:
+    """Result of a SAT call: satisfiable flag and a model if SAT."""
+
+    satisfiable: bool
+    model: dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+
+
+class SatSolver:
+    """CDCL SAT solver over integer literals."""
+
+    def __init__(self) -> None:
+        self.clauses: list[list[int]] = []
+        self.num_vars = 0
+
+    def add_clause(self, literals: list[int] | tuple[int, ...]) -> None:
+        """Add a clause (a disjunction of non-zero integer literals)."""
+        clause = sorted(set(literals), key=abs)
+        if any(-lit in clause for lit in clause):
+            return  # tautology
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self.num_vars = max(self.num_vars, abs(lit))
+        self.clauses.append(list(clause))
+
+    def add_clauses(self, clauses) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # -- solving --------------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: list[int] | tuple[int, ...] = (),
+        max_conflicts: int | None = None,
+        should_stop=None,
+    ) -> SatResult:
+        """Solve the current clause set under optional assumptions.
+
+        ``should_stop`` is an optional callable polled periodically; when it
+        returns True the solver raises ``TimeoutError``.
+        """
+        state = _SolverState(self.num_vars, [list(c) for c in self.clauses])
+        for lit in assumptions:
+            state.num_vars = max(state.num_vars, abs(lit))
+        state.grow()
+        # Assumptions become unit clauses for this call.
+        for lit in assumptions:
+            state.clauses.append([lit])
+        return state.search(max_conflicts, should_stop)
+
+
+class _SolverState:
+    def __init__(self, num_vars: int, clauses: list[list[int]]) -> None:
+        self.num_vars = num_vars
+        self.clauses = clauses
+        self.learned: list[list[int]] = []
+
+    def grow(self) -> None:
+        n = self.num_vars + 1
+        self.assign: list[int] = [0] * n  # 0 unassigned, 1 true, -1 false
+        self.level: list[int] = [0] * n
+        self.reason: list[list[int] | None] = [None] * n
+        self.activity: list[float] = [0.0] * n
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.watches: dict[int, list[list[int]]] = {}
+        self.var_inc = 1.0
+        self.conflicts = 0
+        self.decisions = 0
+
+    # -- basic operations ------------------------------------------------------
+
+    def value(self, lit: int) -> int:
+        sign = 1 if lit > 0 else -1
+        return self.assign[abs(lit)] * sign
+
+    def watch(self, lit: int, clause: list[int]) -> None:
+        self.watches.setdefault(lit, []).append(clause)
+
+    def attach_clause(self, clause: list[int]) -> None:
+        if len(clause) >= 2:
+            self.watch(-clause[0], clause)
+            self.watch(-clause[1], clause)
+
+    def enqueue(self, lit: int, reason: list[int] | None) -> bool:
+        current = self.value(lit)
+        if current == 1:
+            return True
+        if current == -1:
+            return False
+        var = abs(lit)
+        self.assign[var] = 1 if lit > 0 else -1
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(lit)
+        return True
+
+    def propagate(self) -> list[int] | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        index = getattr(self, "_qhead", 0)
+        while index < len(self.trail):
+            lit = self.trail[index]
+            index += 1
+            watching = self.watches.get(lit, [])
+            new_watching: list[list[int]] = []
+            i = 0
+            while i < len(watching):
+                clause = watching[i]
+                i += 1
+                # Ensure clause[1] is the false literal (-lit).
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if self.value(clause[0]) == 1:
+                    new_watching.append(clause)
+                    continue
+                found = False
+                for k in range(2, len(clause)):
+                    if self.value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watch(-clause[1], clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                new_watching.append(clause)
+                if self.value(clause[0]) == -1:
+                    # Conflict: restore remaining watches and report.
+                    new_watching.extend(watching[i:])
+                    self.watches[lit] = new_watching
+                    self._qhead = len(self.trail)
+                    return clause
+                self.enqueue(clause[0], clause)
+            self.watches[lit] = new_watching
+        self._qhead = index
+        return None
+
+    # -- conflict analysis ------------------------------------------------------
+
+    def bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def decay(self) -> None:
+        self.var_inc /= 0.95
+
+    def analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        learned = [0]
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = 0
+        clause = conflict
+        trail_index = len(self.trail) - 1
+        current_level = len(self.trail_lim)
+        while True:
+            for q in clause:
+                if q == lit:
+                    continue
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self.bump(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            while not seen[abs(self.trail[trail_index])]:
+                trail_index -= 1
+            lit = self.trail[trail_index]
+            var = abs(lit)
+            seen[var] = False
+            trail_index -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self.reason[var] or []
+            lit = lit  # the resolved literal
+        learned[0] = -lit
+        # Backjump level = max level among learned[1:]; move a literal of that
+        # level into position 1 so the watched-literal invariant holds after
+        # backjumping.
+        if len(learned) == 1:
+            back_level = 0
+        else:
+            best = 1
+            for index in range(2, len(learned)):
+                if self.level[abs(learned[index])] > self.level[abs(learned[best])]:
+                    best = index
+            learned[1], learned[best] = learned[best], learned[1]
+            back_level = self.level[abs(learned[1])]
+        return learned, back_level
+
+    def backjump(self, level: int) -> None:
+        while len(self.trail_lim) > level:
+            limit = self.trail_lim.pop()
+            while len(self.trail) > limit:
+                lit = self.trail.pop()
+                var = abs(lit)
+                self.assign[var] = 0
+                self.reason[var] = None
+        self._qhead = min(getattr(self, "_qhead", 0), len(self.trail))
+
+    # -- decisions ---------------------------------------------------------------
+
+    def decide(self) -> int | None:
+        best_var = 0
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assign[var] == 0 and self.activity[var] > best_activity:
+                best_var = var
+                best_activity = self.activity[var]
+        if best_var == 0:
+            return None
+        return -best_var  # prefer negative phase (compact models)
+
+    # -- main search ---------------------------------------------------------------
+
+    def search(self, max_conflicts: int | None, should_stop) -> SatResult:
+        self._qhead = 0
+        # Attach clauses; handle empty and unit clauses directly.
+        for clause in self.clauses:
+            if not clause:
+                return SatResult(False)
+            if len(clause) == 1:
+                if not self.enqueue(clause[0], None):
+                    return SatResult(False)
+            else:
+                self.attach_clause(clause)
+        restart_limit = 100
+        conflicts_since_restart = 0
+        while True:
+            if should_stop is not None and should_stop():
+                raise TimeoutError("SAT solver interrupted")
+            conflict = self.propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_since_restart += 1
+                if max_conflicts is not None and self.conflicts > max_conflicts:
+                    raise TimeoutError("SAT solver exceeded conflict budget")
+                if not self.trail_lim:
+                    return SatResult(
+                        False, conflicts=self.conflicts, decisions=self.decisions
+                    )
+                learned, back_level = self.analyze(conflict)
+                self.backjump(back_level)
+                if len(learned) == 1:
+                    self.enqueue(learned[0], None)
+                else:
+                    self.learned.append(learned)
+                    self.attach_clause(learned)
+                    self.enqueue(learned[0], learned)
+                self.decay()
+                if conflicts_since_restart >= restart_limit:
+                    conflicts_since_restart = 0
+                    restart_limit = int(restart_limit * 1.5)
+                    self.backjump(0)
+                continue
+            lit = self.decide()
+            if lit is None:
+                model = {
+                    var: self.assign[var] == 1
+                    for var in range(1, self.num_vars + 1)
+                }
+                self._verify_model(model)
+                return SatResult(
+                    True, model, conflicts=self.conflicts, decisions=self.decisions
+                )
+            self.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self.enqueue(lit, None)
+
+    def _verify_model(self, model: dict[int, bool]) -> None:
+        """Safety net: every input clause must be satisfied by the model."""
+        for clause in self.clauses:
+            if not any(model.get(abs(lit), False) == (lit > 0) for lit in clause):
+                raise RuntimeError(
+                    "internal SAT solver error: model does not satisfy clause "
+                    f"{clause}"
+                )
+
+
+class Tseitin:
+    """Tseitin transformation of formula DAGs into CNF over integer literals.
+
+    The class manages the mapping between atoms (arbitrary hashable objects,
+    in practice :class:`~repro.logic.terms.Term` atoms) and SAT variables,
+    and introduces auxiliary variables for internal connective nodes.
+    """
+
+    def __init__(self) -> None:
+        self.solver = SatSolver()
+        self._atom_vars: dict[object, int] = {}
+        self._next_var = 0
+        self._cache: dict[object, int] = {}
+
+    def fresh_var(self) -> int:
+        self._next_var += 1
+        return self._next_var
+
+    def atom_var(self, atom: object) -> int:
+        if atom not in self._atom_vars:
+            self._atom_vars[atom] = self.fresh_var()
+        return self._atom_vars[atom]
+
+    @property
+    def atoms(self) -> dict[object, int]:
+        return dict(self._atom_vars)
+
+    def add_clause(self, literals) -> None:
+        self.solver.add_clause(literals)
+
+    def encode_and(self, lits: list[int]) -> int:
+        """Return a literal equivalent to the conjunction of ``lits``."""
+        key = ("and", tuple(sorted(lits)))
+        if key in self._cache:
+            return self._cache[key]
+        out = self.fresh_var()
+        for lit in lits:
+            self.add_clause([-out, lit])
+        self.add_clause([out] + [-lit for lit in lits])
+        self._cache[key] = out
+        return out
+
+    def encode_or(self, lits: list[int]) -> int:
+        """Return a literal equivalent to the disjunction of ``lits``."""
+        key = ("or", tuple(sorted(lits)))
+        if key in self._cache:
+            return self._cache[key]
+        out = self.fresh_var()
+        for lit in lits:
+            self.add_clause([out, -lit])
+        self.add_clause([-out] + list(lits))
+        self._cache[key] = out
+        return out
+
+    def assert_literal(self, lit: int) -> None:
+        self.add_clause([lit])
+
+    def solve(self, should_stop=None, max_conflicts: int | None = None) -> SatResult:
+        return self.solver.solve(should_stop=should_stop, max_conflicts=max_conflicts)

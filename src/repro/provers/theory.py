@@ -1,0 +1,193 @@
+"""Ground theory reasoning: EUF + linear integer arithmetic combination.
+
+The :class:`TheoryChecker` decides (soundly, incompletely) whether a
+conjunction of ground literals is consistent with the combined theory of
+
+* equality with uninterpreted functions (congruence closure),
+* linear integer arithmetic (Fourier-Motzkin),
+
+exchanging equalities between the two solvers in a lightweight Nelson-Oppen
+loop.  It is used as the theory backend of the lazy SMT-lite prover: the SAT
+core proposes a boolean model, the checker either accepts it or returns a
+conflicting subset of literals that is turned into a blocking clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic.clauses import Literal
+from ..logic.sorts import INT
+from ..logic.terms import App, BoolLit, IntLit, Term, subterms
+from .euf import CongruenceClosure
+from .lia import LinearSolver, linearize
+from .result import Budget
+
+__all__ = ["TheoryChecker", "TheoryConflict"]
+
+
+@dataclass
+class TheoryConflict:
+    """An inconsistent subset of the checked literals."""
+
+    core: list[Literal]
+    reason: str
+
+
+_TRUE = BoolLit(True)
+_FALSE = BoolLit(False)
+
+
+class TheoryChecker:
+    """Consistency checking for conjunctions of ground theory literals."""
+
+    def __init__(self, exchange_rounds: int = 3, minimize_cores: bool = True) -> None:
+        self.exchange_rounds = exchange_rounds
+        self.minimize_cores = minimize_cores
+
+    # -- public API -------------------------------------------------------------
+
+    def check(
+        self, literals: list[Literal], budget: Budget | None = None
+    ) -> TheoryConflict | None:
+        """Return a conflict (with a minimised core) or None if consistent."""
+        if self._consistent(literals, budget):
+            return None
+        core = list(literals)
+        if self.minimize_cores:
+            core = self._minimize(core, budget)
+        return TheoryConflict(core, "EUF+LIA conflict")
+
+    # -- consistency ------------------------------------------------------------
+
+    def _consistent(
+        self, literals: list[Literal], budget: Budget | None
+    ) -> bool:
+        if budget is not None:
+            budget.check()
+        closure = CongruenceClosure()
+        arithmetic = LinearSolver()
+        closure.assert_distinct(_TRUE, _FALSE)
+        int_terms: set[Term] = set()
+        shared_atoms: set[Term] = set()
+
+        for literal in literals:
+            atom = literal.atom
+            if isinstance(atom, BoolLit):
+                if atom.value != literal.positive:
+                    return False
+                continue
+            if isinstance(atom, App) and atom.op == "eq":
+                left, right = atom.args
+                if literal.positive:
+                    closure.assert_equal(left, right)
+                    if left.sort == INT:
+                        arithmetic.add_eq_terms(left, right)
+                else:
+                    closure.assert_distinct(left, right)
+                    # Integer disequalities are split at the boolean level by
+                    # the preprocessing pass; here they only inform EUF.
+                self._collect(left, int_terms, shared_atoms)
+                self._collect(right, int_terms, shared_atoms)
+                continue
+            if isinstance(atom, App) and atom.op in ("le", "lt"):
+                left, right = atom.args
+                if literal.positive:
+                    if atom.op == "le":
+                        arithmetic.add_le_terms(left, right)
+                    else:
+                        arithmetic.add_lt_terms(left, right)
+                else:
+                    # ~(l <= r)  ==  r < l ;  ~(l < r)  ==  r <= l
+                    if atom.op == "le":
+                        arithmetic.add_lt_terms(right, left)
+                    else:
+                        arithmetic.add_le_terms(right, left)
+                self._collect(left, int_terms, shared_atoms)
+                self._collect(right, int_terms, shared_atoms)
+                continue
+            # Any other atom (membership in an opaque set variable, an
+            # uninterpreted predicate, a boolean field read, ...) is handled
+            # as an equation with the boolean constants in EUF.
+            closure.assert_equal(atom, _TRUE if literal.positive else _FALSE)
+            self._collect(atom, int_terms, shared_atoms)
+
+        # Intern every collected term so congruences between terms that only
+        # occur inside arithmetic atoms (e.g. ``g[x]`` and ``g[y]`` when only
+        # ``g[y]`` appears under an inequality) are still detected.
+        for term in int_terms | shared_atoms:
+            closure.intern(term)
+
+        if closure.check() is not None:
+            return False
+        if arithmetic.is_infeasible():
+            return False
+
+        # Nelson-Oppen style equality exchange.
+        known_pairs: set[tuple[Term, Term]] = set()
+        int_term_list = sorted(int_terms, key=repr)
+        shared_list = sorted(shared_atoms, key=repr)
+        for _ in range(self.exchange_rounds):
+            if budget is not None:
+                budget.check()
+            changed = False
+            # EUF -> LIA
+            for left, right in closure.implied_equalities(int_term_list):
+                key = (left, right)
+                if key in known_pairs:
+                    continue
+                known_pairs.add(key)
+                arithmetic.add_eq_terms(left, right)
+                changed = True
+            if arithmetic.is_infeasible():
+                return False
+            # LIA -> EUF (restricted to atoms that occur under uninterpreted
+            # symbols, where new congruences can actually fire).  This
+            # direction costs one entailment check per pair, so it is only
+            # attempted for small shared-variable sets and when there are
+            # arithmetic facts to draw from.
+            if arithmetic.constraints and len(shared_list) <= 4:
+                for left, right in arithmetic.implied_equalities(shared_list):
+                    if closure.are_equal(left, right):
+                        continue
+                    closure.assert_equal(left, right)
+                    changed = True
+            if closure.check() is not None:
+                return False
+            if not changed:
+                break
+        return True
+
+    @staticmethod
+    def _collect(term: Term, int_terms: set[Term], shared_atoms: set[Term]) -> None:
+        for sub in subterms(term):
+            if sub.sort == INT and not isinstance(sub, IntLit):
+                int_terms.add(sub)
+            if isinstance(sub, App):
+                # Arguments of select / uninterpreted applications are the
+                # "shared" positions where arithmetic equalities can enable
+                # new congruences.
+                if sub.op == "select" or not sub.is_interpreted:
+                    for arg in sub.args:
+                        if arg.sort == INT and not isinstance(arg, IntLit):
+                            shared_atoms.add(arg)
+
+    # -- core minimisation --------------------------------------------------------
+
+    def _minimize(
+        self, core: list[Literal], budget: Budget | None
+    ) -> list[Literal]:
+        """Deletion-based minimisation of a conflicting literal set."""
+        if len(core) > 120:
+            return core
+        index = 0
+        current = list(core)
+        while index < len(current):
+            if budget is not None and budget.expired():
+                return current
+            candidate = current[:index] + current[index + 1:]
+            if candidate and not self._consistent(candidate, budget):
+                current = candidate
+            else:
+                index += 1
+        return current

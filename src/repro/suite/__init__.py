@@ -1,0 +1,12 @@
+"""The benchmark suite: the paper's eight linked data structures."""
+
+from .catalog import STRUCTURE_ORDER, all_structures, structure_by_name
+from .common import MethodBuilder, StructureBuilder
+
+__all__ = [
+    "MethodBuilder",
+    "STRUCTURE_ORDER",
+    "StructureBuilder",
+    "all_structures",
+    "structure_by_name",
+]

@@ -1,0 +1,104 @@
+"""The Array List benchmark (the paper's running example, Section 2).
+
+The abstract state is the ``content`` relation defined by the same
+abstraction function as Figure 1::
+
+    content == {(i, n). 0 <= i & i < size & n = elements[i]}
+
+and ``csize == size``.  The methods exercise the integrated proof language:
+``whereIs`` uses a ``witness`` statement to identify the witness of its
+existentially quantified postcondition (the paper's witness identification),
+and the mutators carry ``note`` lemmas that relate regions of the updated
+array to the original one.
+"""
+
+from __future__ import annotations
+
+from .common import StructureBuilder
+
+__all__ = ["build_array_list"]
+
+
+def build_array_list():
+    s = StructureBuilder("Array List")
+    s.concrete("elements", "int => obj")
+    s.concrete("size", "int")
+    s.concrete("capacity", "int")
+    s.spec(
+        "content",
+        "(int * obj) set",
+        "{(i : int, n : obj). 0 <= i & i < size & n = elements[i]}",
+    )
+    s.spec("csize", "int", "size")
+
+    s.invariant("SizeRange", "0 <= size & size <= capacity")
+
+    m = s.method(
+        "get",
+        params="i : int",
+        returns="obj",
+        requires="0 <= i & i < size",
+        ensures="(i, result) in content",
+    )
+    m.returns("elements[i]")
+    m.done()
+
+    m = s.method(
+        "set",
+        params="i : int, o : obj",
+        requires="0 <= i & i < size",
+        modifies="elements",
+        ensures="(i, o) in content & csize = old csize",
+    )
+    m.array_write("elements", "i", "o")
+    m.note("Stored", "elements[i] = o")
+    m.done()
+
+    m = s.method(
+        "add",
+        params="o : obj",
+        requires="size < capacity",
+        modifies="elements, size",
+        ensures="(old size, o) in content & csize = old csize + 1",
+    )
+    m.array_write("elements", "size", "o")
+    m.assign("size", "size + 1")
+    m.note("AppendedAtEnd", "elements[size - 1] = o & size = old size + 1")
+    m.done()
+
+    m = s.method(
+        "removeLast",
+        requires="0 < size",
+        modifies="size",
+        ensures="csize = old csize - 1 & "
+        "(ALL j : int, e : obj. 0 <= j & j < csize --> "
+        "((j, e) in content <-> (j, e) in old content))",
+    )
+    m.assign("size", "size - 1")
+    m.note(
+        "PrefixUnchanged",
+        "ALL j : int. 0 <= j & j < size --> elements[j] = old elements[j]",
+        from_hints="Pre, OldSnapshot, AssignTmp, Assign_size",
+    )
+    m.done()
+
+    m = s.method(
+        "whereIs",
+        params="i : int, o : obj",
+        returns="int",
+        requires="(i, o) in content",
+        ensures="EX j : int. (j, o) in old content & result = j",
+    )
+    m.witness("i", "Found", "EX j : int. (j, o) in content & i = j")
+    m.returns("i")
+    m.done()
+
+    m = s.method(
+        "isEmpty",
+        returns="bool",
+        ensures="result <-> csize = 0",
+    )
+    m.returns("size = 0")
+    m.done()
+
+    return s.build()

@@ -1,0 +1,120 @@
+"""The Binary Tree benchmark: a binary tree storing a set of integer keys.
+
+The paper's binary search tree is the structure where the integrated proof
+language is used to let several provers cooperate: note statements expose
+shape facts to the structure reasoner and arithmetic/abstraction facts to
+the SMT back-ends.  The reproduction keeps that flavour with a ghost
+``nodes`` set (shape), a ``keys`` set (abstraction) and ``note`` lemmas
+relating the two after each mutation; the full ordering invariant of a BST
+requires reachability reasoning that is out of scope for the from-scratch
+portfolio (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from .common import StructureBuilder
+
+__all__ = ["build_binary_tree"]
+
+
+def build_binary_tree():
+    s = StructureBuilder("Binary Tree")
+    s.concrete("root", "obj")
+    s.concrete("left", "obj => obj")
+    s.concrete("right", "obj => obj")
+    s.concrete("key", "obj => int")
+    s.ghost("nodes", "obj set")
+    s.ghost("keySet", "int set")
+    s.spec("content", "int set", "keySet")
+
+    s.invariant("NullNotNode", "~(null in nodes)")
+    s.invariant("RootInNodes", "root ~= null --> root in nodes")
+    s.invariant("EmptyRoot", "root = null --> card nodes = 0")
+    s.invariant(
+        "LeftClosed",
+        "ALL n : obj. n in nodes --> (left[n] in nodes | left[n] = null)",
+    )
+    s.invariant(
+        "RightClosed",
+        "ALL n : obj. n in nodes --> (right[n] in nodes | right[n] = null)",
+    )
+    s.invariant(
+        "KeysSound", "ALL n : obj. n in nodes --> key[n] in keySet"
+    )
+
+    m = s.method(
+        "makeEmpty",
+        modifies="root, nodes, keySet",
+        ensures="content = {}",
+    )
+    m.assign("root", "null")
+    m.ghost_assign("nodes", "{}")
+    m.ghost_assign("keySet", "{}")
+    m.done()
+
+    m = s.method(
+        "isEmpty",
+        returns="bool",
+        ensures="result <-> root = null",
+    )
+    m.returns("root = null")
+    m.done()
+
+    m = s.method(
+        "rootKey",
+        returns="int",
+        requires="root ~= null",
+        ensures="result in content",
+    )
+    m.instantiate(
+        "RootHasKey", "ALL n : obj. n in nodes --> key[n] in keySet", "root"
+    )
+    m.returns("key[root]")
+    m.done()
+
+    m = s.method(
+        "plantRoot",
+        params="n : obj",
+        requires="root = null & n ~= null & ~(n in nodes)",
+        modifies="root, left, right, nodes, keySet",
+        ensures="content = old content Un {key[n]}",
+    )
+    m.field_write("left", "n", "null")
+    m.field_write("right", "n", "null")
+    m.assign("root", "n")
+    m.ghost_assign("nodes", "nodes Un {n}")
+    m.ghost_assign("keySet", "keySet Un {key[n]}")
+    m.note("OldTreeEmpty", "card (old nodes) = 0", from_hints="EmptyRoot, Pre, OldSnapshot")
+    m.note(
+        "ShapeStillClosed",
+        "ALL m : obj. m in nodes --> (left[m] in nodes | left[m] = null)",
+        from_hints="LeftClosed, NullNotNode, Pre, AssignTmp, Assign_left, "
+        "Assign_right, Assign_nodes, Assign_root",
+    )
+    m.done()
+
+    m = s.method(
+        "attachLeftLeaf",
+        params="p : obj, n : obj",
+        requires="p in nodes & left[p] = null & n ~= null & ~(n in nodes)",
+        modifies="left, right, nodes, keySet",
+        ensures="content = old content Un {key[n]} & n in nodes",
+    )
+    m.field_write("left", "n", "null")
+    m.field_write("right", "n", "null")
+    m.field_write("left", "p", "n")
+    m.ghost_assign("nodes", "nodes Un {n}")
+    m.ghost_assign("keySet", "keySet Un {key[n]}")
+    m.note(
+        "NewLeafIsolated",
+        "left[n] = null & right[n] = null & left[p] = n",
+        from_hints="Pre, AssignTmp, Assign_left, Assign_right",
+    )
+    m.note(
+        "KeysStillSound",
+        "ALL m : obj. m in nodes --> key[m] in keySet",
+        from_hints="KeysSound, Pre, AssignTmp, Assign_nodes, Assign_keySet",
+    )
+    m.done()
+
+    return s.build()

@@ -1,0 +1,64 @@
+"""The benchmark catalogue: the eight data structures of Section 6."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..frontend.ast import ClassModel
+from .linked_structures import (
+    build_association_list,
+    build_circular_list,
+    build_cursor_list,
+    build_linked_list,
+)
+
+__all__ = ["all_structures", "structure_by_name", "STRUCTURE_ORDER"]
+
+#: Table order used by the paper (most complex first).
+STRUCTURE_ORDER = (
+    "Hash Table",
+    "Priority Queue",
+    "Binary Tree",
+    "Array List",
+    "Circular List",
+    "Cursor List",
+    "Association List",
+    "Linked List",
+)
+
+
+@lru_cache(maxsize=1)
+def _catalogue() -> dict[str, ClassModel]:
+    from .array_list import build_array_list
+    from .binary_tree import build_binary_tree
+    from .hash_table import build_hash_table
+    from .priority_queue import build_priority_queue
+
+    structures = [
+        build_hash_table(),
+        build_priority_queue(),
+        build_binary_tree(),
+        build_array_list(),
+        build_circular_list(),
+        build_cursor_list(),
+        build_association_list(),
+        build_linked_list(),
+    ]
+    return {cls.name: cls for cls in structures}
+
+
+def all_structures() -> list[ClassModel]:
+    """All benchmark data structures, in the paper's table order."""
+    catalogue = _catalogue()
+    return [catalogue[name] for name in STRUCTURE_ORDER]
+
+
+def structure_by_name(name: str) -> ClassModel:
+    """Look up a benchmark data structure by (case-insensitive) name."""
+    catalogue = _catalogue()
+    for key, value in catalogue.items():
+        if key.lower().replace(" ", "") == name.lower().replace(" ", ""):
+            return value
+    raise KeyError(
+        f"unknown data structure {name!r}; available: {', '.join(catalogue)}"
+    )

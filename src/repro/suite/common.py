@@ -1,0 +1,478 @@
+"""Helpers for writing the benchmark data structures.
+
+Every data structure of Section 6 is a :class:`~repro.frontend.ast.ClassModel`
+built with :class:`StructureBuilder`, which provides
+
+* a formula/term parser whose environment automatically contains all state
+  variables, method parameters and locals,
+* shorthand constructors for specification statements and for every
+  integrated proof language construct (``note``, ``witness``, ...), so the
+  annotated method bodies read close to the paper's ``/*: ... */`` comments.
+
+The modelling conventions (documented in DESIGN.md):
+
+* each data structure is a module describing a single container instance;
+  node fields (``next``, ``key`` ...) are map-valued state variables
+  ``obj => T`` and Java arrays are map-valued variables ``int => T``,
+  mirroring Jahob's function-update encoding of the heap;
+* public abstract state is given either by ``spec`` variables with
+  ``vardefs`` definitions (expanded abstraction functions) or by ``ghost``
+  variables updated by specification assignments in method bodies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend.ast import (
+    ArrayWrite,
+    Assign,
+    AssertStmt,
+    AssumeStmt,
+    Call,
+    ClassModel,
+    FieldWrite,
+    GhostAssign,
+    If,
+    Invariant,
+    Method,
+    MethodContract,
+    ProofStmt,
+    Return,
+    StateVar,
+    Stmt,
+    While,
+)
+from ..gcl.extended import ExtendedCommand, Skip, eseq
+from ..logic.parser import parse_formula, parse_sort, parse_term
+from ..logic.sorts import Sort
+from ..logic.terms import TRUE, Term, Var
+from ..proofs.constructs import (
+    Assuming,
+    Cases,
+    Instantiate,
+    Localize,
+    Mp,
+    Note,
+    PickAny,
+    PickWitness,
+    Witness,
+)
+
+__all__ = ["StructureBuilder", "MethodBuilder"]
+
+
+class StructureBuilder:
+    """Builds one data-structure :class:`ClassModel`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._state: list[StateVar] = []
+        self._invariants: list[Invariant] = []
+        self._methods: list[Method] = []
+        self._env: dict[str, Sort] = {}
+
+    # -- declarations --------------------------------------------------------------
+
+    def concrete(self, name: str, sort: str) -> None:
+        """Declare a concrete (Java) state variable, e.g. ``size: int`` or a
+        field map ``next: obj => obj``."""
+        parsed = parse_sort(sort)
+        self._state.append(StateVar(name, parsed, "concrete"))
+        self._env[name] = parsed
+
+    def ghost(self, name: str, sort: str) -> None:
+        """Declare a ghost specification variable (Table 1's local spec vars)."""
+        parsed = parse_sort(sort)
+        self._state.append(StateVar(name, parsed, "ghost"))
+        self._env[name] = parsed
+
+    def spec(self, name: str, sort: str, definition: str) -> None:
+        """Declare a public specification variable with a vardefs definition."""
+        parsed = parse_sort(sort)
+        self._env[name] = parsed
+        defined = parse_term(definition, self._env)
+        self._state.append(StateVar(name, parsed, "spec", defined, is_public=True))
+
+    def invariant(self, name: str, formula: str) -> None:
+        """Declare a named data-structure invariant."""
+        self._invariants.append(Invariant(name, self.formula(formula), is_public=True))
+
+    # -- formulas --------------------------------------------------------------------
+
+    def formula(self, text: str, extra: dict[str, Sort] | None = None) -> Term:
+        env = dict(self._env)
+        if extra:
+            env.update(extra)
+        return parse_formula(text, env)
+
+    def term(self, text: str, extra: dict[str, Sort] | None = None) -> Term:
+        env = dict(self._env)
+        if extra:
+            env.update(extra)
+        return parse_term(text, env)
+
+    # -- methods ----------------------------------------------------------------------
+
+    def method(
+        self,
+        name: str,
+        params: str = "",
+        returns: str = "",
+        requires: str = "true",
+        modifies: str = "",
+        ensures: str = "true",
+        public: bool = True,
+    ) -> "MethodBuilder":
+        """Start a method; parameters are ``"name: sort, name: sort"``."""
+        return MethodBuilder(
+            self, name, params, returns, requires, modifies, ensures, public
+        )
+
+    def _add_method(self, method: Method) -> None:
+        self._methods.append(method)
+
+    def build(self) -> ClassModel:
+        """Finish and return the class model."""
+        return ClassModel(
+            name=self.name,
+            state=tuple(self._state),
+            invariants=tuple(self._invariants),
+            methods=tuple(self._methods),
+        )
+
+
+class MethodBuilder:
+    """Builds one annotated method; statements are added in program order."""
+
+    def __init__(
+        self,
+        structure: StructureBuilder,
+        name: str,
+        params: str,
+        returns: str,
+        requires: str,
+        modifies: str,
+        ensures: str,
+        public: bool,
+    ) -> None:
+        self.structure = structure
+        self.name = name
+        self.public = public
+        self._params: list[Var] = []
+        self._locals: list[Var] = []
+        self._local_env: dict[str, Sort] = {}
+        for declaration in _split_declarations(params):
+            var_name, sort_text = declaration
+            sort = parse_sort(sort_text)
+            self._params.append(Var(var_name, sort))
+            self._local_env[var_name] = sort
+        self._return_var: Var | None = None
+        if returns:
+            sort = parse_sort(returns)
+            self._return_var = Var("result", sort)
+            self._local_env["result"] = sort
+        self._requires_text = requires
+        self._modifies = tuple(
+            item.strip() for item in modifies.split(",") if item.strip()
+        )
+        self._ensures_text = ensures
+        self._body: list[Stmt] = []
+        self._block_stack: list[list[Stmt]] = [self._body]
+
+    # -- formulas in method scope -----------------------------------------------------
+
+    def local(self, name: str, sort: str) -> Var:
+        """Declare a local variable usable in subsequent statements/formulas."""
+        parsed = parse_sort(sort)
+        var = Var(name, parsed)
+        self._locals.append(var)
+        self._local_env[name] = parsed
+        return var
+
+    def formula(self, text: str, extra: dict[str, Sort] | None = None) -> Term:
+        env = dict(self._local_env)
+        if extra:
+            env.update(extra)
+        return self.structure.formula(text, env)
+
+    def term(self, text: str) -> Term:
+        return self.structure.term(text, self._local_env)
+
+    def var(self, name: str) -> Var:
+        if name in self._local_env:
+            return Var(name, self._local_env[name])
+        if name in self.structure._env:
+            return Var(name, self.structure._env[name])
+        raise KeyError(f"unknown variable {name!r} in method {self.name}")
+
+    # -- statements ----------------------------------------------------------------------
+
+    def _emit(self, statement: Stmt) -> None:
+        self._block_stack[-1].append(statement)
+
+    def assign(self, target: str, expr: str) -> None:
+        """``target = expr;`` (scalar state variable or local)."""
+        target_var = self.var(target)
+        self._emit(Assign(target_var, self._coerced(expr, target_var)))
+
+    def ghost_assign(self, target: str, expr: str) -> None:
+        """``//: target := expr`` specification-state update."""
+        target_var = self.var(target)
+        self._emit(GhostAssign(target_var, self._coerced(expr, target_var)))
+
+    def _coerced(self, expr: str, target: Var) -> Term:
+        """Parse ``expr``, giving an untyped ``{}`` literal the target's sort."""
+        from ..logic import builder as b
+        from ..logic.sorts import SetSort
+        from ..logic.terms import App
+
+        term = self.term(expr)
+        if (
+            isinstance(term, App)
+            and term.op == "setenum"
+            and not term.args
+            and isinstance(target.sort, SetSort)
+            and term.sort != target.sort
+        ):
+            return b.EmptySet(target.sort.elem)
+        return term
+
+    def field_write(self, field_name: str, obj: str, value: str) -> None:
+        """``obj.field = value;``."""
+        self._emit(FieldWrite(field_name, self.term(obj), self.term(value)))
+
+    def array_write(self, array_name: str, index: str, value: str) -> None:
+        """``array[index] = value;``."""
+        self._emit(ArrayWrite(array_name, self.term(index), self.term(value)))
+
+    def call(self, method_name: str, args: str = "", target: str | None = None) -> None:
+        """``target = method(args);``."""
+        arg_terms = tuple(
+            self.term(arg.strip()) for arg in args.split(",") if arg.strip()
+        )
+        target_var = self.var(target) if target else None
+        self._emit(Call(method_name, arg_terms, target_var))
+
+    def returns(self, expr: str | None = None) -> None:
+        """``return expr;``."""
+        self._emit(Return(self.term(expr) if expr is not None else None))
+
+    def check(self, label: str, formula: str, from_hints: str = "") -> None:
+        """A bare specification assertion."""
+        hints = tuple(h.strip() for h in from_hints.split(",") if h.strip())
+        self._emit(AssertStmt(self.formula(formula), label, hints))
+
+    # -- structured statements ---------------------------------------------------------
+
+    def if_(self, cond: str):
+        """``if (cond) { ... }`` -- use as a context manager."""
+        return _Block(self, If, {"cond": self.formula(cond)})
+
+    def else_(self):
+        """``else { ... }`` for the most recent ``if``."""
+        return _ElseBlock(self)
+
+    def while_(self, cond: str, invariant: str, label: str = "LoopInv"):
+        """``while /*: inv invariant */ (cond) { ... }``."""
+        return _Block(
+            self,
+            While,
+            {
+                "cond": self.formula(cond),
+                "invariant": self.formula(invariant),
+                "invariant_label": label,
+            },
+        )
+
+    # -- proof language statements -------------------------------------------------------
+
+    def note(self, label: str, formula: str, from_hints: str = "") -> None:
+        hints = tuple(h.strip() for h in from_hints.split(",") if h.strip())
+        self._emit(ProofStmt(Note(label, self.formula(formula), hints)))
+
+    def witness(self, terms: str, label: str, existential: str) -> None:
+        witness_terms = tuple(
+            self.term(item.strip()) for item in terms.split(",") if item.strip()
+        )
+        self._emit(
+            ProofStmt(Witness(witness_terms, label, self.formula(existential)))
+        )
+
+    def instantiate(self, label: str, quantified: str, terms: str) -> None:
+        instantiation = tuple(
+            self.term(item.strip()) for item in terms.split(",") if item.strip()
+        )
+        self._emit(
+            ProofStmt(Instantiate(label, self.formula(quantified), instantiation))
+        )
+
+    def mp(self, label: str, antecedent: str, consequent: str) -> None:
+        self._emit(
+            ProofStmt(Mp(label, self.formula(antecedent), self.formula(consequent)))
+        )
+
+    def cases(self, label: str, cases: list[str], goal: str, from_hints: str = "") -> None:
+        hints = tuple(h.strip() for h in from_hints.split(",") if h.strip())
+        self._emit(
+            ProofStmt(
+                Cases(
+                    tuple(self.formula(c) for c in cases),
+                    label,
+                    self.formula(goal),
+                    hints,
+                )
+            )
+        )
+
+    def assuming(
+        self,
+        hypothesis_label: str,
+        hypothesis: str,
+        conclusion_label: str,
+        conclusion: str,
+        proof: ExtendedCommand | None = None,
+    ) -> None:
+        self._emit(
+            ProofStmt(
+                Assuming(
+                    hypothesis_label,
+                    self.formula(hypothesis),
+                    proof or Skip(),
+                    conclusion_label,
+                    self.formula(conclusion),
+                )
+            )
+        )
+
+    def pick_any(
+        self,
+        variables: str,
+        label: str,
+        goal: str,
+        proof: ExtendedCommand | None = None,
+    ) -> None:
+        picked = []
+        extra: dict[str, Sort] = {}
+        for declaration in _split_declarations(variables):
+            var_name, sort_text = declaration
+            sort = parse_sort(sort_text)
+            picked.append(Var(var_name, sort))
+            extra[var_name] = sort
+        self._emit(
+            ProofStmt(
+                PickAny(
+                    tuple(picked),
+                    proof or Skip(),
+                    label,
+                    self.formula(goal, extra),
+                )
+            )
+        )
+
+    def localize(self, label: str, formula: str, proof: ExtendedCommand) -> None:
+        self._emit(ProofStmt(Localize(proof, label, self.formula(formula))))
+
+    # -- nested proof command helpers (for proofs inside pickAny/assuming) --------------
+
+    def inner_note(self, label: str, formula: str, from_hints: str = "",
+                   extra: dict[str, Sort] | None = None) -> ExtendedCommand:
+        """A ``note`` command for use inside another construct's proof body."""
+        from ..gcl.extended import Assert as GAssert, Assume as GAssume
+
+        hints = tuple(h.strip() for h in from_hints.split(",") if h.strip())
+        from ..proofs.constructs import Note as NoteConstruct
+
+        return NoteConstruct(label, self.formula(formula, extra), hints)
+
+    def sequence(self, *commands: ExtendedCommand) -> ExtendedCommand:
+        return eseq(*commands)
+
+    # -- finish ---------------------------------------------------------------------------
+
+    def done(self) -> Method:
+        """Finish the method and register it with the structure."""
+        contract = MethodContract(
+            requires=self.formula(self._requires_text),
+            modifies=self._modifies,
+            ensures=self.formula(self._ensures_text),
+        )
+        method = Method(
+            name=self.name,
+            params=tuple(self._params),
+            return_var=self._return_var,
+            contract=contract,
+            body=tuple(self._body),
+            is_public=self.public,
+            locals=tuple(self._locals),
+        )
+        self.structure._add_method(method)
+        return method
+
+
+class _Block:
+    """Context manager collecting statements of a structured block."""
+
+    def __init__(self, builder: MethodBuilder, kind, kwargs) -> None:
+        self.builder = builder
+        self.kind = kind
+        self.kwargs = kwargs
+        self.statements: list[Stmt] = []
+
+    def __enter__(self):
+        self.builder._block_stack.append(self.statements)
+        return self.builder
+
+    def __exit__(self, exc_type, exc, tb):
+        self.builder._block_stack.pop()
+        if exc_type is not None:
+            return False
+        if self.kind is If:
+            statement = If(
+                cond=self.kwargs["cond"], then_branch=tuple(self.statements)
+            )
+        else:
+            statement = While(
+                cond=self.kwargs["cond"],
+                invariant=self.kwargs["invariant"],
+                body=tuple(self.statements),
+                invariant_label=self.kwargs["invariant_label"],
+            )
+        self.builder._emit(statement)
+        return False
+
+
+class _ElseBlock:
+    """Attaches an else branch to the most recent ``if`` statement."""
+
+    def __init__(self, builder: MethodBuilder) -> None:
+        self.builder = builder
+        self.statements: list[Stmt] = []
+
+    def __enter__(self):
+        self.builder._block_stack.append(self.statements)
+        return self.builder
+
+    def __exit__(self, exc_type, exc, tb):
+        self.builder._block_stack.pop()
+        if exc_type is not None:
+            return False
+        block = self.builder._block_stack[-1]
+        if not block or not isinstance(block[-1], If):
+            raise ValueError("else_ must directly follow an if_ block")
+        from dataclasses import replace
+
+        block[-1] = replace(block[-1], else_branch=tuple(self.statements))
+        return False
+
+
+def _split_declarations(text: str) -> list[tuple[str, str]]:
+    """Parse ``"x: int, n: obj"`` into [("x", "int"), ("n", "obj")]."""
+    declarations: list[tuple[str, str]] = []
+    for piece in text.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        name, _, sort_text = piece.partition(":")
+        declarations.append((name.strip(), sort_text.strip()))
+    return declarations

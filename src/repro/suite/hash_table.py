@@ -1,0 +1,161 @@
+"""The Hash Table benchmark: bucketed storage of a key/value relation.
+
+The concrete state is an array of buckets (a map from bucket index to a set
+of pairs) plus a hash function; the abstract state is the ``contents``
+relation and the ``keys`` set.  As in the paper (Section 6.3), this is the
+structure that leans hardest on the proof language: the mutators use
+``note`` statements with ``from`` clauses to control the assumption base and
+to relate the updated bucket to the abstract relation, plus ``instantiate``
+and ``assuming``/``cases`` style steps for the invariant proofs.
+
+The hash function is modelled as a map ``hash : obj => int`` constrained by
+the ``HashRange`` invariant (the paper's ``h(k) mod n`` computation needs
+non-linear arithmetic, so the range constraint is taken as the invariant the
+bucket computation establishes -- see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from .common import StructureBuilder
+
+__all__ = ["build_hash_table"]
+
+
+def build_hash_table():
+    s = StructureBuilder("Hash Table")
+    s.concrete("buckets", "int => (obj * obj) set")
+    s.concrete("capacity", "int")
+    s.concrete("hash", "obj => int")
+    s.ghost("contents", "(obj * obj) set")
+    s.ghost("keys", "obj set")
+    s.spec("content", "(obj * obj) set", "contents")
+    s.spec("csize", "int", "card contents")
+
+    s.invariant("CapacityPositive", "0 < capacity")
+    s.invariant(
+        "HashRange", "ALL k : obj. 0 <= hash[k] & hash[k] < capacity"
+    )
+    s.invariant(
+        "BucketComplete",
+        "ALL k : obj, v : obj. (k, v) in contents --> (k, v) in buckets[hash[k]]",
+    )
+    s.invariant(
+        "BucketSound",
+        "ALL i : int, k : obj, v : obj. "
+        "0 <= i & i < capacity & (k, v) in buckets[i] --> "
+        "((k, v) in contents & hash[k] = i)",
+    )
+    s.invariant(
+        "KeysSound",
+        "ALL k : obj, v : obj. (k, v) in contents --> k in keys",
+    )
+
+    m = s.method(
+        "containsPair",
+        params="k : obj, v : obj",
+        returns="bool",
+        ensures="result <-> (k, v) in content",
+    )
+    m.instantiate(
+        "HashOfKey", "ALL k2 : obj. 0 <= hash[k2] & hash[k2] < capacity", "k"
+    )
+    m.note(
+        "InBucketIffInContents",
+        "(k, v) in buckets[hash[k]] <-> (k, v) in contents",
+        from_hints="BucketComplete, BucketSound, HashOfKey, HashRange, CapacityPositive",
+    )
+    m.returns("(k, v) in buckets[hash[k]]")
+    m.done()
+
+    m = s.method(
+        "put",
+        params="k : obj, v : obj",
+        modifies="buckets, contents, keys",
+        ensures="content = old content Un {(k, v)} & keys = old keys Un {k}",
+    )
+    m.instantiate(
+        "HashOfKey", "ALL k2 : obj. 0 <= hash[k2] & hash[k2] < capacity", "k"
+    )
+    m.array_write("buckets", "hash[k]", "buckets[hash[k]] Un {(k, v)}")
+    m.ghost_assign("contents", "contents Un {(k, v)}")
+    m.ghost_assign("keys", "keys Un {k}")
+    m.note(
+        "NewPairStored",
+        "(k, v) in buckets[hash[k]]",
+        from_hints="HashOfKey, AssignTmp, Assign_buckets",
+    )
+    m.note(
+        "OtherBucketsUnchanged",
+        "ALL i : int. 0 <= i & i < capacity & i ~= hash[k] --> "
+        "buckets[i] = old buckets[i]",
+        from_hints="HashOfKey, OldSnapshot, AssignTmp, Assign_buckets",
+    )
+    m.note(
+        "BucketStillComplete",
+        "ALL k2 : obj, v2 : obj. (k2, v2) in contents --> "
+        "(k2, v2) in buckets[hash[k2]]",
+        from_hints="BucketComplete, HashOfKey, NewPairStored, OldSnapshot, "
+        "AssignTmp, Assign_buckets, Assign_contents",
+    )
+    m.note(
+        "BucketStillSound",
+        "ALL i : int, k2 : obj, v2 : obj. "
+        "0 <= i & i < capacity & (k2, v2) in buckets[i] --> "
+        "((k2, v2) in contents & hash[k2] = i)",
+        from_hints="BucketSound, HashRange, HashOfKey, OldSnapshot, "
+        "AssignTmp, Assign_buckets, Assign_contents",
+    )
+    m.note(
+        "KeysStillSound",
+        "ALL k2 : obj, v2 : obj. (k2, v2) in contents --> k2 in keys",
+        from_hints="KeysSound, AssignTmp, Assign_contents, Assign_keys",
+    )
+    m.done()
+
+    m = s.method(
+        "removePair",
+        params="k : obj, v : obj",
+        modifies="buckets, contents",
+        ensures="content = old content \\ {(k, v)}",
+    )
+    m.instantiate(
+        "HashOfKey", "ALL k2 : obj. 0 <= hash[k2] & hash[k2] < capacity", "k"
+    )
+    m.array_write("buckets", "hash[k]", "buckets[hash[k]] \\ {(k, v)}")
+    m.ghost_assign("contents", "contents \\ {(k, v)}")
+    m.note(
+        "PairGoneFromBucket",
+        "~((k, v) in buckets[hash[k]])",
+        from_hints="HashOfKey, AssignTmp, Assign_buckets",
+    )
+    m.note(
+        "BucketStillComplete",
+        "ALL k2 : obj, v2 : obj. (k2, v2) in contents --> "
+        "(k2, v2) in buckets[hash[k2]]",
+        from_hints="BucketComplete, BucketSound, HashRange, HashOfKey, "
+        "OldSnapshot, AssignTmp, Assign_buckets, Assign_contents",
+    )
+    m.note(
+        "BucketStillSound",
+        "ALL i : int, k2 : obj, v2 : obj. "
+        "0 <= i & i < capacity & (k2, v2) in buckets[i] --> "
+        "((k2, v2) in contents & hash[k2] = i)",
+        from_hints="BucketSound, HashRange, HashOfKey, OldSnapshot, "
+        "AssignTmp, Assign_buckets, Assign_contents",
+    )
+    m.note(
+        "KeysStillSound",
+        "ALL k2 : obj, v2 : obj. (k2, v2) in contents --> k2 in keys",
+        from_hints="KeysSound, AssignTmp, Assign_contents",
+    )
+    m.done()
+
+    m = s.method(
+        "sizeOf",
+        returns="int",
+        ensures="result = csize",
+    )
+    m.returns("card contents")
+    m.done()
+
+    return s.build()

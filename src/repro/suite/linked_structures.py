@@ -1,0 +1,348 @@
+"""The four simpler linked structures of the benchmark suite.
+
+Linked List, Association List, Cursor List and Circular List.  In the paper
+these structures need no (or almost no) integrated proof language guidance
+(Table 1 reports zero proof statements for Linked List, Association List and
+Cursor List and a handful for Circular List); the point of including them is
+to show that the automated portfolio handles them on its own, which the
+Table 2 benchmark reproduces.
+
+Modelling notes (see DESIGN.md): each structure describes one container
+instance; node fields are map-valued state variables; the abstract content
+is a ghost set updated by specification assignments, and the structural
+invariants are the quantified facts the provers need to re-establish after
+every mutation.
+"""
+
+from __future__ import annotations
+
+from .common import StructureBuilder
+
+__all__ = [
+    "build_linked_list",
+    "build_association_list",
+    "build_cursor_list",
+    "build_circular_list",
+]
+
+
+def build_linked_list():
+    """A singly-linked list of nodes with a set interface."""
+    s = StructureBuilder("Linked List")
+    s.concrete("first", "obj")
+    s.concrete("next", "obj => obj")
+    s.concrete("csize", "int")
+    s.ghost("nodes", "obj set")
+    s.spec("content", "obj set", "nodes")
+
+    s.invariant("NullNotNode", "~(null in nodes)")
+    s.invariant("FirstInNodes", "first ~= null --> first in nodes")
+    s.invariant("EmptyFirst", "first = null --> card nodes = 0")
+    s.invariant("SizeCard", "csize = card nodes")
+    s.invariant(
+        "NextClosed",
+        "ALL n : obj. n in nodes --> (next[n] in nodes | next[n] = null)",
+    )
+
+    m = s.method(
+        "init",
+        modifies="first, nodes, csize",
+        ensures="content = {} & csize = 0",
+    )
+    m.assign("first", "null")
+    m.ghost_assign("nodes", "{}")
+    m.assign("csize", "0")
+    m.done()
+
+    m = s.method(
+        "addFirst",
+        params="n : obj",
+        requires="n ~= null & ~(n in nodes)",
+        modifies="first, next, nodes, csize",
+        ensures="content = old content Un {n} & csize = old csize + 1",
+    )
+    m.field_write("next", "n", "first")
+    m.assign("first", "n")
+    m.ghost_assign("nodes", "nodes Un {n}")
+    m.assign("csize", "csize + 1")
+    m.done()
+
+    m = s.method(
+        "isEmpty",
+        returns="bool",
+        ensures="result <-> first = null",
+    )
+    m.returns("first = null")
+    m.done()
+
+    m = s.method(
+        "getFirst",
+        returns="obj",
+        requires="first ~= null",
+        ensures="result in content & result ~= null",
+    )
+    m.returns("first")
+    m.done()
+
+    m = s.method(
+        "contains",
+        params="n : obj",
+        returns="bool",
+        ensures="result <-> n in content",
+    )
+    m.returns("n in nodes")
+    m.done()
+
+    m = s.method(
+        "size",
+        returns="int",
+        ensures="result = card content",
+    )
+    m.returns("csize")
+    m.done()
+
+    return s.build()
+
+
+def build_association_list():
+    """A key/value association list storing its relation in a ghost set."""
+    s = StructureBuilder("Association List")
+    s.concrete("first", "obj")
+    s.concrete("next", "obj => obj")
+    s.concrete("key", "obj => obj")
+    s.concrete("value", "obj => obj")
+    s.ghost("nodes", "obj set")
+    s.ghost("keys", "obj set")
+    s.ghost("pairs", "(obj * obj) set")
+    s.spec("content", "(obj * obj) set", "pairs")
+
+    s.invariant("NullNotNode", "~(null in nodes)")
+    s.invariant("FirstInNodes", "first ~= null --> first in nodes")
+    s.invariant(
+        "NextClosed",
+        "ALL n : obj. n in nodes --> (next[n] in nodes | next[n] = null)",
+    )
+    s.invariant(
+        "PairsSound",
+        "ALL n : obj. n in nodes --> (key[n], value[n]) in pairs",
+    )
+    s.invariant(
+        "KeysSound",
+        "ALL k : obj, v : obj. (k, v) in pairs --> k in keys",
+    )
+
+    m = s.method(
+        "init",
+        modifies="first, nodes, keys, pairs",
+        ensures="content = {} & keys = {}",
+    )
+    m.assign("first", "null")
+    m.ghost_assign("nodes", "{}")
+    m.ghost_assign("keys", "{}")
+    m.ghost_assign("pairs", "{}")
+    m.done()
+
+    m = s.method(
+        "put",
+        params="k : obj, v : obj, node : obj",
+        requires="node ~= null & ~(node in nodes) & k ~= null",
+        modifies="first, next, key, value, nodes, keys, pairs",
+        ensures="content = old content Un {(k, v)} & keys = old keys Un {k}",
+    )
+    m.field_write("key", "node", "k")
+    m.field_write("value", "node", "v")
+    m.field_write("next", "node", "first")
+    m.assign("first", "node")
+    m.ghost_assign("nodes", "nodes Un {node}")
+    m.ghost_assign("keys", "keys Un {k}")
+    m.ghost_assign("pairs", "pairs Un {(k, v)}")
+    m.note(
+        "PairsStillSound",
+        "ALL n : obj. n in nodes --> (key[n], value[n]) in pairs",
+        from_hints="PairsSound, NullNotNode, Pre, AssignTmp, Assign_key, "
+        "Assign_value, Assign_nodes, Assign_pairs, Assign_next, Assign_first",
+    )
+    m.done()
+
+    m = s.method(
+        "containsKey",
+        params="k : obj",
+        returns="bool",
+        ensures="result <-> k in keys",
+    )
+    m.returns("k in keys")
+    m.done()
+
+    m = s.method(
+        "isEmpty",
+        returns="bool",
+        ensures="result <-> first = null",
+    )
+    m.returns("first = null")
+    m.done()
+
+    m = s.method(
+        "headPair",
+        returns="bool",
+        requires="first ~= null",
+        ensures="result --> (key[first], value[first]) in content",
+    )
+    m.returns("first in nodes")
+    m.done()
+
+    return s.build()
+
+
+def build_cursor_list():
+    """A list with an iteration cursor (the paper's Cursor List)."""
+    s = StructureBuilder("Cursor List")
+    s.concrete("first", "obj")
+    s.concrete("current", "obj")
+    s.concrete("next", "obj => obj")
+    s.ghost("nodes", "obj set")
+    s.ghost("toVisit", "obj set")
+    s.spec("content", "obj set", "nodes")
+
+    s.invariant("NullNotNode", "~(null in nodes)")
+    s.invariant("FirstInNodes", "first ~= null --> first in nodes")
+    s.invariant("CurrentValid", "current ~= null --> current in nodes")
+    s.invariant("ToVisitSubset", "toVisit subseteq nodes")
+    s.invariant(
+        "NextClosed",
+        "ALL n : obj. n in nodes --> (next[n] in nodes | next[n] = null)",
+    )
+
+    m = s.method(
+        "init",
+        modifies="first, current, nodes, toVisit",
+        ensures="content = {}",
+    )
+    m.assign("first", "null")
+    m.assign("current", "null")
+    m.ghost_assign("nodes", "{}")
+    m.ghost_assign("toVisit", "{}")
+    m.done()
+
+    m = s.method(
+        "add",
+        params="n : obj",
+        requires="n ~= null & ~(n in nodes)",
+        modifies="first, next, nodes, toVisit",
+        ensures="content = old content Un {n}",
+    )
+    m.field_write("next", "n", "first")
+    m.assign("first", "n")
+    m.ghost_assign("nodes", "nodes Un {n}")
+    m.ghost_assign("toVisit", "toVisit Un {n}")
+    m.done()
+
+    m = s.method(
+        "reset",
+        modifies="current, toVisit",
+        ensures="toVisit = content",
+    )
+    m.assign("current", "first")
+    m.ghost_assign("toVisit", "nodes")
+    m.done()
+
+    m = s.method(
+        "advance",
+        requires="current ~= null & current in toVisit",
+        modifies="current, toVisit",
+        ensures="toVisit = old toVisit \\ {old current}",
+    )
+    m.ghost_assign("toVisit", "toVisit \\ {current}")
+    m.assign("current", "next[current]")
+    m.done()
+
+    m = s.method(
+        "hasCurrent",
+        returns="bool",
+        ensures="result <-> current ~= null",
+    )
+    m.returns("current ~= null")
+    m.done()
+
+    m = s.method(
+        "getCurrent",
+        returns="obj",
+        requires="current ~= null",
+        ensures="result in content",
+    )
+    m.returns("current")
+    m.done()
+
+    return s.build()
+
+
+def build_circular_list():
+    """A circular doubly-linked list; a few notes guide the prev/next proofs."""
+    s = StructureBuilder("Circular List")
+    s.concrete("head", "obj")
+    s.concrete("next", "obj => obj")
+    s.concrete("prev", "obj => obj")
+    s.concrete("csize", "int")
+    s.ghost("nodes", "obj set")
+    s.spec("content", "obj set", "nodes \\ {head}")
+
+    s.invariant("NullNotNode", "~(null in nodes)")
+    s.invariant("HeadNotNull", "head ~= null")
+    s.invariant("HeadInNodes", "head in nodes")
+    s.invariant(
+        "NextClosed", "ALL n : obj. n in nodes --> next[n] in nodes"
+    )
+    s.invariant(
+        "PrevClosed", "ALL n : obj. n in nodes --> prev[n] in nodes"
+    )
+    s.invariant("SizeCard", "csize = card nodes - 1")
+
+    m = s.method(
+        "initEmpty",
+        params="sentinel : obj",
+        requires="sentinel ~= null",
+        modifies="head, next, prev, nodes, csize",
+        ensures="content = {} & csize = 0",
+    )
+    m.assign("head", "sentinel")
+    m.field_write("next", "sentinel", "sentinel")
+    m.field_write("prev", "sentinel", "sentinel")
+    m.ghost_assign("nodes", "{sentinel}")
+    m.assign("csize", "0")
+    m.note("HeadIsOnlyNode", "nodes = {sentinel}")
+    m.done()
+
+    m = s.method(
+        "insertAfterHead",
+        params="n : obj",
+        requires="n ~= null & ~(n in nodes)",
+        modifies="next, prev, nodes, csize",
+        ensures="content = old content Un {n} & csize = old csize + 1",
+    )
+    m.note("NewNodeNotHead", "n ~= head")
+    m.field_write("prev", "next[head]", "n")
+    m.field_write("next", "n", "next[head]")
+    m.field_write("prev", "n", "head")
+    m.field_write("next", "head", "n")
+    m.ghost_assign("nodes", "nodes Un {n}")
+    m.assign("csize", "csize + 1")
+    m.note("ContentGrew", "nodes \\ {head} = (old nodes \\ {head}) Un {n}")
+    m.done()
+
+    m = s.method(
+        "isEmpty",
+        returns="bool",
+        ensures="result <-> card content = 0",
+    )
+    m.note("HeadCounted", "card (nodes \\ {head}) = card nodes - 1")
+    m.returns("csize = 0")
+    m.done()
+
+    m = s.method(
+        "sizeOf",
+        returns="int",
+        ensures="result = card content",
+    )
+    m.returns("csize")
+    m.done()
+
+    return s.build()

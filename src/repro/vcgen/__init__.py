@@ -1,0 +1,17 @@
+"""Verification condition generation: sequents, splitting, assumption control."""
+
+from .assumptions import apply_from_clause, ignore_from_clause, relevance_filter
+from .sequent import Sequent
+from .split import SplitGoal, split_goal
+from .vcgen import VcGenerator, generate_sequents
+
+__all__ = [
+    "Sequent",
+    "SplitGoal",
+    "VcGenerator",
+    "apply_from_clause",
+    "generate_sequents",
+    "ignore_from_clause",
+    "relevance_filter",
+    "split_goal",
+]

@@ -1,0 +1,69 @@
+"""Assumption-base control utilities.
+
+The paper stresses (Sections 1.1, 4.2, 6.3) that an assumption base with
+irrelevant facts can make otherwise-provable sequents intractable, and that
+the ``from`` clause of ``note``/``assert`` is the developer's tool for
+focusing the provers.  The mechanism itself lives in
+:meth:`repro.vcgen.sequent.Sequent.to_task`; this module adds helpers used by
+the verification engine, the ablation benchmarks and the tests:
+
+* :func:`apply_from_clause` / :func:`ignore_from_clause` convert sequents to
+  prover tasks with selection respectively enabled and disabled (the ablation
+  of experiment E5 measures the difference);
+* :func:`relevance_filter` implements a simple automatic fallback selection
+  (keep assumptions sharing symbols with the goal), which is what a developer
+  would approximate manually when no ``from`` clause is given.
+"""
+
+from __future__ import annotations
+
+from ..logic.terms import Term, free_var_names, function_symbols
+from ..provers.result import ProofTask
+from .sequent import Sequent
+
+__all__ = ["apply_from_clause", "ignore_from_clause", "relevance_filter"]
+
+
+def apply_from_clause(sequent: Sequent) -> ProofTask:
+    """The proof task with ``from``-clause assumption selection applied."""
+    return sequent.to_task(apply_from_clause=True)
+
+
+def ignore_from_clause(sequent: Sequent) -> ProofTask:
+    """The proof task with the full assumption base (selection disabled)."""
+    return sequent.to_task(apply_from_clause=False)
+
+
+def _symbols(formula: Term) -> frozenset[str]:
+    return free_var_names(formula) | function_symbols(formula)
+
+
+def relevance_filter(
+    task: ProofTask, max_assumptions: int = 60, rounds: int = 2
+) -> ProofTask:
+    """Heuristic assumption selection by symbol reachability from the goal.
+
+    Starting from the symbols of the goal, keep assumptions that share a
+    symbol with the current relevant-symbol set, expanding the set for a few
+    rounds (a simplified version of the relevance filtering used by
+    Sledgehammer-style tools).  If everything fits within
+    ``max_assumptions`` the task is returned unchanged.
+    """
+    if len(task.assumptions) <= max_assumptions:
+        return task
+    relevant = _symbols(task.goal)
+    kept: list[tuple[str, Term]] = []
+    kept_set: set[int] = set()
+    for _ in range(rounds):
+        for index, (name, formula) in enumerate(task.assumptions):
+            if index in kept_set:
+                continue
+            if _symbols(formula) & relevant:
+                kept.append((name, formula))
+                kept_set.add(index)
+                relevant = relevant | _symbols(formula)
+            if len(kept) >= max_assumptions:
+                break
+        if len(kept) >= max_assumptions:
+            break
+    return ProofTask(tuple(kept), task.goal, task.label)

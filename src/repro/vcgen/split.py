@@ -1,0 +1,95 @@
+"""Goal splitting (Figure 7 of the paper).
+
+A proof obligation with a structured goal is split into an implication list
+whose conjunction is equivalent to the original formula:
+
+* ``A --> G1 /\\ G2``     becomes two obligations (one per conjunct),
+* ``A --> (B --> G)``     folds ``B`` into the assumption base,
+* ``A --> ALL x. G``      introduces a fresh constant for ``x``.
+
+Annotations (assumption names) are preserved, which is what makes the
+``from``-clause assumption selection work after splitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic.subst import FreshNameGenerator, substitute
+from ..logic.terms import FORALL, App, Binder, Term, Var, free_var_names
+
+__all__ = ["SplitGoal", "split_goal"]
+
+
+@dataclass(frozen=True)
+class SplitGoal:
+    """One piece of a split goal: extra hypotheses plus an atomic-ish goal."""
+
+    hypotheses: tuple[tuple[str, Term], ...]
+    goal: Term
+    suffix: str
+
+
+def split_goal(
+    formula: Term,
+    label: str,
+    fresh: FreshNameGenerator | None = None,
+    max_pieces: int = 256,
+) -> list[SplitGoal]:
+    """Split ``formula`` into implications per Figure 7."""
+    if fresh is None:
+        fresh = FreshNameGenerator(set(free_var_names(formula)))
+    pieces: list[SplitGoal] = []
+    _split(formula, (), "", label, fresh, pieces, max_pieces)
+    # Give the pieces stable, human-readable suffixes.
+    if len(pieces) == 1:
+        only = pieces[0]
+        return [SplitGoal(only.hypotheses, only.goal, "")]
+    return pieces
+
+
+def _split(
+    formula: Term,
+    hypotheses: tuple[tuple[str, Term], ...],
+    suffix: str,
+    label: str,
+    fresh: FreshNameGenerator,
+    out: list[SplitGoal],
+    max_pieces: int,
+) -> None:
+    if len(out) >= max_pieces:
+        out.append(SplitGoal(hypotheses, formula, suffix))
+        return
+    if isinstance(formula, App) and formula.op == "and":
+        for index, conjunct in enumerate(formula.args):
+            _split(
+                conjunct,
+                hypotheses,
+                f"{suffix}.{index + 1}",
+                label,
+                fresh,
+                out,
+                max_pieces,
+            )
+        return
+    if isinstance(formula, App) and formula.op == "implies":
+        antecedent, consequent = formula.args
+        name = f"{label}{suffix}.hyp" if suffix else f"{label}.hyp"
+        _split(
+            consequent,
+            hypotheses + ((name, antecedent),),
+            suffix,
+            label,
+            fresh,
+            out,
+            max_pieces,
+        )
+        return
+    if isinstance(formula, Binder) and formula.kind == FORALL:
+        renaming: dict[Var, Term] = {}
+        for name, sort in formula.params:
+            renaming[Var(name, sort)] = Var(fresh.fresh(name), sort)
+        body = substitute(formula.body, renaming)
+        _split(body, hypotheses, suffix, label, fresh, out, max_pieces)
+        return
+    out.append(SplitGoal(hypotheses, formula, suffix))

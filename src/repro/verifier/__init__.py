@@ -1,0 +1,15 @@
+"""The end-to-end verification engine, reporting and statistics."""
+
+from .engine import ClassReport, MethodReport, SequentOutcome, VerificationEngine
+from .report import (
+    Table1Row,
+    Table2Row,
+    format_table1,
+    format_table2,
+    table1_rows,
+    table2_rows,
+)
+from .stats import ClassStatistics, class_statistics
+from .strip import strip_proofs_from_class, strip_proofs_from_method
+
+__all__ = [name for name in dir() if not name.startswith("_")]

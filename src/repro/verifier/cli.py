@@ -1,0 +1,100 @@
+"""Command-line interface: ``jahob-py``.
+
+Subcommands::
+
+    jahob-py list                 list the benchmark data structures
+    jahob-py verify <name>        verify one data structure (add --no-proofs
+                                  to strip the proof language constructs)
+    jahob-py table1               regenerate Table 1
+    jahob-py table2               regenerate Table 2 (slow: verifies twice)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..provers.dispatch import default_portfolio
+from .engine import VerificationEngine
+from .report import (
+    format_table1,
+    format_table2,
+    table1_rows,
+    table2_rows,
+)
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jahob-py",
+        description="Jahob-style verifier with an integrated proof language "
+        "(PLDI 2009 reproduction)",
+    )
+    parser.add_argument(
+        "--timeout-scale",
+        type=float,
+        default=1.0,
+        help="scale factor applied to every per-prover timeout",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list benchmark data structures")
+    verify = subparsers.add_parser("verify", help="verify one data structure")
+    verify.add_argument("name", help="data structure name (see 'list')")
+    verify.add_argument(
+        "--no-proofs",
+        action="store_true",
+        help="strip the integrated proof language constructs first",
+    )
+    subparsers.add_parser("table1", help="regenerate Table 1")
+    subparsers.add_parser("table2", help="regenerate Table 2")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    from ..suite.catalog import all_structures, structure_by_name
+
+    portfolio = default_portfolio().scaled(args.timeout_scale)
+    engine = VerificationEngine(portfolio)
+
+    if args.command == "list":
+        for cls in all_structures():
+            print(cls.name)
+        return 0
+
+    if args.command == "verify":
+        cls = structure_by_name(args.name)
+        report = engine.verify_class(cls, strip_proofs=args.no_proofs)
+        for method_report in report.methods:
+            status = "ok" if method_report.verified else "FAILED"
+            print(
+                f"{cls.name}.{method_report.method_name}: "
+                f"{method_report.sequents_proved}/{method_report.sequents_total} "
+                f"sequents ({method_report.elapsed:.1f}s) {status}"
+            )
+            for outcome in method_report.failed_sequents:
+                print(f"    failed: {outcome.sequent.label}")
+        print(
+            f"total: {report.sequents_proved}/{report.sequents_total} sequents, "
+            f"{report.methods_verified}/{report.methods_total} methods, "
+            f"{report.elapsed:.1f}s"
+        )
+        return 0 if report.verified else 1
+
+    if args.command == "table1":
+        rows = table1_rows(all_structures(), engine)
+        print(format_table1(rows))
+        return 0
+
+    if args.command == "table2":
+        rows = [row for row, _, _ in table2_rows(all_structures(), engine)]
+        print(format_table2(rows))
+        return 0
+
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""The end-to-end verification engine.
+
+For each method of a class model the engine
+
+1. lowers the method (contracts, invariants, proof annotations) into an
+   extended guarded command (:mod:`repro.frontend.lower`),
+2. desugars it into simple guarded commands (Figures 6 and 8),
+3. generates and splits sequents (Figure 7, :mod:`repro.vcgen`),
+4. offers every sequent to the prover portfolio with per-prover timeouts,
+   honouring ``from``-clause assumption selection.
+
+The per-method and per-class reports carry everything the paper's Tables 1
+and 2 need: sequent counts, proved counts, verification time and the prover
+that discharged each sequent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..frontend.ast import ClassModel, Method
+from ..frontend.lower import lower_method
+from ..gcl.desugar import Desugarer
+from ..logic.terms import free_var_names
+from ..provers.dispatch import DispatchResult, ProverPortfolio, default_portfolio
+from ..vcgen.assumptions import relevance_filter
+from ..vcgen.sequent import Sequent
+from ..vcgen.vcgen import VcGenerator
+from .strip import strip_proofs_from_class
+
+__all__ = ["SequentOutcome", "MethodReport", "ClassReport", "VerificationEngine"]
+
+
+@dataclass
+class SequentOutcome:
+    """One sequent together with the dispatcher's verdict."""
+
+    sequent: Sequent
+    dispatch: DispatchResult
+
+    @property
+    def proved(self) -> bool:
+        return self.dispatch.proved
+
+    @property
+    def prover(self) -> str:
+        return self.dispatch.winning_prover
+
+
+@dataclass
+class MethodReport:
+    """Verification results for one method."""
+
+    class_name: str
+    method_name: str
+    outcomes: list[SequentOutcome] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def sequents_total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def sequents_proved(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.proved)
+
+    @property
+    def verified(self) -> bool:
+        return self.sequents_proved == self.sequents_total
+
+    @property
+    def failed_sequents(self) -> list[SequentOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.proved]
+
+    @property
+    def provers_used(self) -> dict[str, int]:
+        used: dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.proved:
+                used[outcome.prover] = used.get(outcome.prover, 0) + 1
+        return used
+
+
+@dataclass
+class ClassReport:
+    """Verification results for a whole data structure."""
+
+    class_name: str
+    methods: list[MethodReport] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        return sum(report.elapsed for report in self.methods)
+
+    @property
+    def methods_total(self) -> int:
+        return len(self.methods)
+
+    @property
+    def methods_verified(self) -> int:
+        return sum(1 for report in self.methods if report.verified)
+
+    @property
+    def sequents_total(self) -> int:
+        return sum(report.sequents_total for report in self.methods)
+
+    @property
+    def sequents_proved(self) -> int:
+        return sum(report.sequents_proved for report in self.methods)
+
+    @property
+    def verified(self) -> bool:
+        return all(report.verified for report in self.methods)
+
+    @property
+    def provers_used(self) -> dict[str, int]:
+        used: dict[str, int] = {}
+        for report in self.methods:
+            for name, count in report.provers_used.items():
+                used[name] = used.get(name, 0) + count
+        return used
+
+
+class VerificationEngine:
+    """Drives lowering, VC generation and prover dispatch."""
+
+    def __init__(
+        self,
+        portfolio: ProverPortfolio | None = None,
+        apply_from_clauses: bool = True,
+        use_relevance_filter: bool = True,
+        runtime_checks: bool = True,
+    ) -> None:
+        self.portfolio = portfolio or default_portfolio()
+        self.apply_from_clauses = apply_from_clauses
+        self.use_relevance_filter = use_relevance_filter
+        self.runtime_checks = runtime_checks
+
+    # -- sequent generation ------------------------------------------------------
+
+    def method_sequents(self, cls: ClassModel, method: Method) -> list[Sequent]:
+        """All (non-trivially-discharged) sequents of one method."""
+        lowering = lower_method(cls, method, runtime_checks=self.runtime_checks)
+        used: set[str] = {sv.name for sv in cls.state}
+        used |= {var.name for var in method.params}
+        used |= {var.name for var in method.locals}
+        if method.return_var is not None:
+            used.add(method.return_var.name)
+        desugarer = Desugarer(used)
+        simple = desugarer.desugar(lowering.command)
+        generator = VcGenerator()
+        return generator.generate(simple, post=None)
+
+    # -- verification ---------------------------------------------------------------
+
+    def verify_method(self, cls: ClassModel, method: Method) -> MethodReport:
+        """Verify one method, dispatching every sequent to the portfolio."""
+        start = time.monotonic()
+        report = MethodReport(cls.name, method.name)
+        for sequent in self.method_sequents(cls, method):
+            task = sequent.to_task(apply_from_clause=self.apply_from_clauses)
+            if self.use_relevance_filter and not (
+                self.apply_from_clauses and sequent.from_hints
+            ):
+                task = relevance_filter(task)
+            dispatch = self.portfolio.dispatch(task)
+            report.outcomes.append(SequentOutcome(sequent, dispatch))
+        report.elapsed = time.monotonic() - start
+        return report
+
+    def verify_class(self, cls: ClassModel, strip_proofs: bool = False) -> ClassReport:
+        """Verify every method of ``cls``.
+
+        With ``strip_proofs`` the integrated proof language constructs are
+        removed first (the Table 2 ablation).
+        """
+        target = strip_proofs_from_class(cls) if strip_proofs else cls
+        report = ClassReport(cls.name)
+        for method in target.methods:
+            report.methods.append(self.verify_method(target, method))
+        return report

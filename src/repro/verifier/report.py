@@ -1,0 +1,203 @@
+"""Report generation: the paper's Table 1 and Table 2.
+
+:func:`table1_rows` and :func:`table2_rows` compute the rows of the two
+tables of Section 6 for a list of data structures; :func:`format_table`
+renders them as aligned text.  The benchmark harness
+(``benchmarks/bench_table1.py`` / ``bench_table2.py``) and the CLI both use
+these functions, so the printed artifacts are identical in both paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend.ast import ClassModel
+from .engine import ClassReport, VerificationEngine
+from .stats import TABLE1_CONSTRUCT_ORDER, class_statistics
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "table1_rows",
+    "table2_rows",
+    "format_table1",
+    "format_table2",
+    "format_table",
+]
+
+
+@dataclass
+class Table1Row:
+    """One data structure's row of Table 1."""
+
+    class_name: str
+    methods: int
+    statements: int
+    verification_time: float
+    spec_vars: int
+    local_spec_vars: int
+    invariants: int
+    loop_invariants: int
+    notes: int
+    notes_with_from: int
+    construct_counts: dict[str, int] = field(default_factory=dict)
+    verified: bool = True
+
+    def cells(self) -> list[str]:
+        row = [
+            self.class_name,
+            str(self.methods),
+            str(self.statements),
+            f"{self.verification_time:.1f}",
+            str(self.spec_vars),
+            str(self.local_spec_vars),
+            str(self.invariants),
+            str(self.loop_invariants),
+            f"{self.notes} ({self.notes_with_from})",
+        ]
+        for name in TABLE1_CONSTRUCT_ORDER[1:]:
+            row.append(str(self.construct_counts.get(name, 0)))
+        return row
+
+
+@dataclass
+class Table2Row:
+    """One data structure's row of Table 2."""
+
+    class_name: str
+    methods_without: int
+    methods_total: int
+    sequents_without: int
+    sequents_total_without: int
+    methods_with: int
+    sequents_with: int
+    sequents_total_with: int
+
+    def cells(self) -> list[str]:
+        return [
+            self.class_name,
+            f"{self.methods_without} of {self.methods_total}",
+            f"{self.sequents_without} of {self.sequents_total_without}",
+            str(self.methods_with),
+            f"{self.sequents_with} of {self.sequents_total_with}",
+        ]
+
+
+TABLE1_HEADER = [
+    "Data Structure",
+    "Methods",
+    "Statements",
+    "Time (s)",
+    "Spec Vars",
+    "Local Spec Vars",
+    "Invariants",
+    "Loop Invs",
+    "note (from)",
+    "localize",
+    "assuming",
+    "mp",
+    "pickAny",
+    "instantiate",
+    "witness",
+    "pickWitness",
+    "cases",
+    "induct",
+]
+
+TABLE2_HEADER = [
+    "Data Structure",
+    "Methods Verified (no proof)",
+    "Sequents Verified (no proof)",
+    "Methods Verified (with proof)",
+    "Sequents Verified (with proof)",
+]
+
+
+def table1_rows(
+    classes: list[ClassModel], engine: VerificationEngine | None = None
+) -> list[Table1Row]:
+    """Compute Table 1: construct counts plus (optionally) verification time.
+
+    When ``engine`` is None the timing column is 0 and the ``verified`` flag
+    is left True; passing an engine runs full verification.
+    """
+    rows: list[Table1Row] = []
+    for cls in classes:
+        stats = class_statistics(cls)
+        elapsed = 0.0
+        verified = True
+        if engine is not None:
+            report = engine.verify_class(cls)
+            elapsed = report.elapsed
+            verified = report.verified
+        rows.append(
+            Table1Row(
+                class_name=cls.name,
+                methods=stats.methods,
+                statements=stats.statements,
+                verification_time=elapsed,
+                spec_vars=stats.spec_vars,
+                local_spec_vars=stats.local_spec_vars,
+                invariants=stats.invariants,
+                loop_invariants=stats.loop_invariants,
+                notes=stats.construct("note"),
+                notes_with_from=stats.notes_with_from,
+                construct_counts=dict(stats.construct_counts),
+                verified=verified,
+            )
+        )
+    return rows
+
+
+def table2_rows(
+    classes: list[ClassModel], engine: VerificationEngine
+) -> list[tuple[Table2Row, ClassReport, ClassReport]]:
+    """Compute Table 2 by verifying each structure with and without proofs."""
+    rows: list[tuple[Table2Row, ClassReport, ClassReport]] = []
+    for cls in classes:
+        without = engine.verify_class(cls, strip_proofs=True)
+        with_proofs = engine.verify_class(cls, strip_proofs=False)
+        rows.append(
+            (
+                Table2Row(
+                    class_name=cls.name,
+                    methods_without=without.methods_verified,
+                    methods_total=without.methods_total,
+                    sequents_without=without.sequents_proved,
+                    sequents_total_without=without.sequents_total,
+                    methods_with=with_proofs.methods_verified,
+                    sequents_with=with_proofs.sequents_proved,
+                    sequents_total_with=with_proofs.sequents_total,
+                ),
+                without,
+                with_proofs,
+            )
+        )
+    return rows
+
+
+def format_table(header: list[str], rows: list[list[str]]) -> str:
+    """Render a table as aligned plain text."""
+    widths = [len(cell) for cell in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(header)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render Table 1."""
+    return format_table(TABLE1_HEADER, [row.cells() for row in rows])
+
+
+def format_table2(rows: list[Table2Row]) -> str:
+    """Render Table 2."""
+    return format_table(TABLE2_HEADER, [row.cells() for row in rows])

@@ -1,0 +1,108 @@
+"""Guarded commands: wlp rules, desugaring (Figure 6), write frames."""
+
+from repro.gcl import (
+    Assign,
+    Assume,
+    Choice,
+    Havoc,
+    If,
+    Loop,
+    SAssert,
+    SAssume,
+    SChoice,
+    SHavoc,
+    SSeq,
+    SSkip,
+    Skip,
+    assigned_variables,
+    desugar,
+    eseq,
+    modified_variables,
+    sseq,
+    sskip,
+    wlp,
+)
+from repro.logic import And, Eq, Implies, Int, IntVar, Lt, Var
+from repro.logic.evaluator import Interpretation, holds
+from repro.logic.terms import Binder, FORALL
+
+x, y = IntVar("x"), IntVar("y")
+
+
+class TestWlp:
+    def test_skip(self):
+        assert wlp(sskip(), Lt(x, y)) == Lt(x, y)
+
+    def test_assume(self):
+        assert wlp(SAssume(Lt(x, y)), Eq(x, y)) == Implies(Lt(x, y), Eq(x, y))
+
+    def test_assert(self):
+        assert wlp(SAssert(Lt(x, y)), Eq(x, y)) == And(Lt(x, y), Eq(x, y))
+
+    def test_havoc_quantifies(self):
+        result = wlp(SHavoc((x,)), Lt(x, y))
+        assert isinstance(result, Binder) and result.kind == FORALL
+
+    def test_choice_conjunction(self):
+        command = SChoice(SAssume(Lt(x, y)), SAssume(Lt(y, x)))
+        post = Eq(x, y)
+        result = wlp(command, post)
+        assert result == And(Implies(Lt(x, y), post), Implies(Lt(y, x), post))
+
+    def test_sequence_composes(self):
+        command = sseq(SAssume(Lt(x, y)), SAssert(Lt(x, Int(10))))
+        result = wlp(command, Eq(y, y))
+        interp = Interpretation(variables={"x": 3, "y": 5})
+        assert holds(result, interp)
+        interp_bad = Interpretation(variables={"x": 11, "y": 12})
+        assert not holds(result, interp_bad)
+
+
+class TestDesugar:
+    def test_assignment_shape(self):
+        command = desugar(Assign(x, Int(3)))
+        assert isinstance(command, SSeq)
+        kinds = [type(c) for c in command.commands]
+        assert kinds == [SHavoc, SAssume, SHavoc, SAssume]
+
+    def test_assignment_semantics(self):
+        # wlp(x := 3, x = 3) must be valid.
+        obligation = wlp(desugar(Assign(x, Int(3))), Eq(x, Int(3)))
+        for value in (-1, 0, 5):
+            assert holds(obligation, Interpretation(variables={"x": value}))
+
+    def test_if_becomes_choice_of_assumes(self):
+        command = desugar(If(Lt(x, y), Skip(), Skip()))
+        assert isinstance(command, SChoice)
+        assert isinstance(command.left, SAssume) or isinstance(command.left, SSeq)
+
+    def test_loop_structure(self):
+        loop = Loop(
+            invariant=Lt(Int(0), x),
+            before=Skip(),
+            cond=Lt(x, y),
+            body=Assign(x, Int(1)),
+        )
+        command = desugar(loop)
+        assert isinstance(command, SSeq)
+        # initial assert, havoc of modified vars, assume, then the choice
+        assert isinstance(command.commands[0], SAssert)
+        assert any(isinstance(c, SChoice) for c in command.commands)
+        havocs = [c for c in command.commands if isinstance(c, SHavoc)]
+        assert havocs and x in havocs[0].variables
+
+    def test_havoc_such_that(self):
+        command = desugar(Havoc((x,), such_that=Lt(Int(0), x)))
+        assert isinstance(command, SSeq)
+        assert isinstance(command.commands[0], SAssert)  # feasibility check
+
+    def test_write_frames(self):
+        body = eseq(Assign(x, Int(1)), If(Lt(x, y), Assign(y, Int(2)), Skip()))
+        assert set(assigned_variables(body)) == {x, y}
+        assert set(modified_variables(desugar(body))) >= {x, y}
+
+    def test_sequence_flattening(self):
+        assert eseq(Skip(), Skip()) == Skip()
+        assert sseq(sskip(), sskip()) == SSkip()
+        nested = eseq(Assume(Lt(x, y)), eseq(Assume(Lt(y, x))))
+        assert len(nested.commands) == 2

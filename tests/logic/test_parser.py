@@ -1,0 +1,103 @@
+"""Tests for the formula parser and sort elaboration."""
+
+import pytest
+
+from repro.logic import BOOL, INT, OBJ, MapSort, SetSort, TupleSort, map_of, set_of, tuple_of
+from repro.logic.parser import ParseError, parse_formula, parse_sort, parse_term
+from repro.logic.printer import to_ascii, to_unicode
+from repro.logic.terms import Binder, FORALL
+
+ENV = {
+    "size": INT,
+    "index": INT,
+    "csize": INT,
+    "o": OBJ,
+    "first": OBJ,
+    "elements": map_of(INT, OBJ),
+    "next": map_of(OBJ, OBJ),
+    "nodes": set_of(OBJ),
+    "content": set_of(tuple_of(INT, OBJ)),
+    "flag": BOOL,
+}
+
+
+class TestSorts:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("int", INT),
+            ("bool", BOOL),
+            ("obj", OBJ),
+            ("obj set", SetSort(OBJ)),
+            ("int => obj", MapSort(INT, OBJ)),
+            ("obj => (int => obj)", MapSort(OBJ, MapSort(INT, OBJ))),
+            ("(int * obj) set", SetSort(TupleSort((INT, OBJ)))),
+        ],
+    )
+    def test_parse_sort(self, text, expected):
+        assert parse_sort(text) == expected
+
+    def test_bad_sort(self):
+        with pytest.raises(ParseError):
+            parse_sort("int +")
+
+
+class TestFormulas:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "0 <= index & index < size",
+            "ALL j. 0 <= j & j < index --> o ~= elements[j]",
+            "EX i. (i, o) in content",
+            "content = {(i, n). 0 <= i & i < size & n = elements[i]}",
+            "nodes = old nodes Un {o}",
+            "card nodes <= csize + 1",
+            "next[o := first][o] = first",
+            "flag <-> size = 0",
+            "~(o in nodes) | o = null",
+            "size mod 2 = 0 --> size ~= 1",
+        ],
+    )
+    def test_parse_and_roundtrip(self, text):
+        formula = parse_formula(text, ENV)
+        assert formula.sort == BOOL
+        reparsed = parse_formula(to_ascii(formula), ENV)
+        assert reparsed == formula
+
+    def test_bound_variable_sort_inference(self):
+        formula = parse_formula("ALL j. 0 <= j --> elements[j] ~= null", ENV)
+        assert isinstance(formula, Binder) and formula.kind == FORALL
+        assert formula.params[0][1] == INT
+
+    def test_bound_variable_annotation(self):
+        formula = parse_formula("ALL n : obj. n in nodes --> n ~= null", ENV)
+        assert formula.params[0][1] == OBJ
+
+    def test_tuple_membership_sorts(self):
+        formula = parse_formula("(index, o) in content", ENV)
+        assert formula.sort == BOOL
+
+    def test_term_parsing(self):
+        term = parse_term("elements[index]", ENV)
+        assert term.sort == OBJ
+
+    def test_formula_requires_bool(self):
+        with pytest.raises(ParseError):
+            parse_formula("elements[index]", ENV)
+
+    def test_strict_mode_rejects_unknowns(self):
+        with pytest.raises(ParseError):
+            parse_formula("mystery < 3", ENV, strict=True)
+
+    def test_trailing_junk(self):
+        with pytest.raises(ParseError):
+            parse_formula("size = 0 size", ENV)
+
+    def test_sort_mismatch_reported(self):
+        with pytest.raises(ParseError):
+            parse_formula("o < 3", ENV)
+
+    def test_unicode_rendering(self):
+        formula = parse_formula("ALL j. (j, o) in content --> 0 <= j", ENV)
+        rendered = to_unicode(formula)
+        assert "∀" in rendered and "∈" in rendered

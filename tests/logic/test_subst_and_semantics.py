@@ -1,0 +1,122 @@
+"""Substitution, alpha-equivalence and the finite-model evaluator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import (
+    INT,
+    And,
+    Eq,
+    Exists,
+    ForAll,
+    Implies,
+    Int,
+    IntVar,
+    Lt,
+    Not,
+    Or,
+    Plus,
+    Var,
+    alpha_equal,
+    instantiate_binder,
+    substitute,
+)
+from repro.logic.evaluator import Interpretation, holds
+from repro.logic.terms import Binder
+
+x, y, z = IntVar("x"), IntVar("y"), IntVar("z")
+
+
+class TestSubstitution:
+    def test_basic(self):
+        formula = Lt(x, y)
+        assert substitute(formula, {x: Int(3)}) == Lt(Int(3), y)
+
+    def test_untouched_returns_equal(self):
+        formula = Lt(x, y)
+        assert substitute(formula, {z: Int(0)}) == formula
+
+    def test_bound_variable_not_replaced(self):
+        formula = ForAll(x, Lt(x, y))
+        assert substitute(formula, {x: Int(3)}) == formula
+
+    def test_capture_avoidance(self):
+        # [y := x] in (ALL x. y < x) must not capture the free x.
+        formula = ForAll(x, Lt(y, x))
+        replaced = substitute(formula, {y: x})
+        assert isinstance(replaced, Binder)
+        bound_name = replaced.params[0][0]
+        assert bound_name != "x"
+        # Semantics: the result must mean "ALL fresh. x < fresh".
+        interp = Interpretation(int_range=(-2, 2), variables={"x": 2})
+        assert not holds(replaced, interp)
+
+    def test_instantiate_binder(self):
+        formula = ForAll([x, y], Lt(x, y))
+        assert isinstance(formula, Binder)
+        instance = instantiate_binder(formula, [Int(1), Int(2)])
+        assert instance == Lt(Int(1), Int(2))
+
+
+class TestAlphaEquivalence:
+    def test_renamed_bound_variables(self):
+        left = ForAll(x, Lt(x, y))
+        right = ForAll(z, Lt(z, y))
+        assert alpha_equal(left, right)
+
+    def test_different_free_variables(self):
+        assert not alpha_equal(ForAll(x, Lt(x, y)), ForAll(x, Lt(x, z)))
+
+    def test_mixed_binders(self):
+        assert not alpha_equal(ForAll(x, Lt(x, y)), Exists(x, Lt(x, y)))
+
+
+class TestEvaluator:
+    def test_arithmetic(self):
+        interp = Interpretation(variables={"x": 3, "y": 5})
+        assert holds(Lt(Plus(x, Int(1)), y), interp)
+        assert not holds(Lt(y, x), interp)
+
+    def test_quantifiers(self):
+        interp = Interpretation(int_range=(0, 3))
+        assert holds(ForAll(x, Lt(x, Int(10))), interp)
+        assert holds(Exists(x, Eq(x, Int(2))), interp)
+        assert not holds(Exists(x, Eq(x, Int(9))), interp)
+
+    def test_implication_truth_table(self):
+        interp = Interpretation(variables={"x": 1, "y": 0})
+        assert holds(Implies(Lt(x, y), Lt(y, x)), interp)
+
+
+# -- property-based: substitution respects evaluation ------------------------
+
+_int_terms = st.sampled_from([x, y, Int(0), Int(1), Int(-2), Plus(x, Int(1))])
+
+
+@st.composite
+def _formulas(draw, depth=2):
+    if depth == 0:
+        left, right = draw(_int_terms), draw(_int_terms)
+        return draw(st.sampled_from([Lt(left, right), Eq(left, right)]))
+    kind = draw(st.sampled_from(["atom", "and", "or", "not", "implies"]))
+    if kind == "atom":
+        return draw(_formulas(depth=0))
+    if kind == "not":
+        return Not(draw(_formulas(depth=depth - 1)))
+    left = draw(_formulas(depth=depth - 1))
+    right = draw(_formulas(depth=depth - 1))
+    if kind == "and":
+        return And(left, right)
+    if kind == "or":
+        return Or(left, right)
+    return Implies(left, right)
+
+
+@given(formula=_formulas(), value=st.integers(-3, 3), x_val=st.integers(-3, 3),
+       y_val=st.integers(-3, 3))
+@settings(max_examples=120, deadline=None)
+def test_substitution_commutes_with_evaluation(formula, value, x_val, y_val):
+    """eval(F[x := c], env) == eval(F, env[x := c])."""
+    substituted = substitute(formula, {x: Int(value)})
+    env = Interpretation(variables={"x": x_val, "y": y_val})
+    env_with = Interpretation(variables={"x": value, "y": y_val})
+    assert holds(substituted, env) == holds(formula, env_with)

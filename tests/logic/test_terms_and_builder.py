@@ -1,0 +1,131 @@
+"""Tests for the term AST and the smart constructors."""
+
+import pytest
+
+from repro.logic import (
+    BOOL,
+    INT,
+    OBJ,
+    And,
+    App,
+    Eq,
+    ForAll,
+    Implies,
+    Int,
+    IntVar,
+    Le,
+    Lt,
+    Member,
+    Not,
+    ObjVar,
+    Or,
+    Plus,
+    Select,
+    SetEnum,
+    SortError,
+    Store,
+    Tuple,
+    Var,
+    free_var_names,
+    free_vars,
+    map_of,
+    set_of,
+)
+from repro.logic.terms import TRUE, FALSE, contains_quantifier, subterms, term_size
+
+x, y = IntVar("x"), IntVar("y")
+a, b = ObjVar("a"), ObjVar("b")
+nodes = Var("nodes", set_of(OBJ))
+next_field = Var("next", map_of(OBJ, OBJ))
+
+
+class TestConstruction:
+    def test_var_sorts(self):
+        assert x.sort == INT and a.sort == OBJ
+
+    def test_formula_flag(self):
+        assert Lt(x, y).is_formula
+        assert not Plus(x, y).is_formula
+
+    def test_and_flattens(self):
+        formula = And(Lt(x, y), And(Le(y, x), Eq(x, y)))
+        assert isinstance(formula, App) and formula.op == "and"
+        assert len(formula.args) == 3
+
+    def test_and_units(self):
+        assert And() == TRUE
+        assert And(TRUE, Lt(x, y)) == Lt(x, y)
+        assert And(FALSE, Lt(x, y)) == FALSE
+
+    def test_or_units(self):
+        assert Or() == FALSE
+        assert Or(TRUE, Lt(x, y)) == TRUE
+        assert Or(FALSE, Lt(x, y)) == Lt(x, y)
+
+    def test_not_involution(self):
+        assert Not(Not(Lt(x, y))) == Lt(x, y)
+        assert Not(TRUE) == FALSE
+
+    def test_implies_simplification(self):
+        assert Implies(TRUE, Lt(x, y)) == Lt(x, y)
+        assert Implies(FALSE, Lt(x, y)) == TRUE
+
+    def test_eq_same_term(self):
+        assert Eq(x, x) == TRUE
+
+    def test_eq_sort_mismatch(self):
+        with pytest.raises(SortError):
+            Eq(x, a)
+
+    def test_select_store_sorts(self):
+        read = Select(next_field, a)
+        assert read.sort == OBJ
+        updated = Store(next_field, a, b)
+        assert updated.sort == next_field.sort
+        with pytest.raises(SortError):
+            Select(next_field, x)
+
+    def test_member_sort_check(self):
+        assert Member(a, nodes).sort == BOOL
+        with pytest.raises(SortError):
+            Member(x, nodes)
+
+    def test_set_literal(self):
+        literal = SetEnum(a, b)
+        assert literal.sort == set_of(OBJ)
+        with pytest.raises(SortError):
+            SetEnum(a, x)
+
+    def test_tuple_sort(self):
+        pair = Tuple(Int(1), a)
+        assert pair.sort.items == (INT, OBJ)
+
+    def test_plus_flattens_and_identity(self):
+        assert Plus(x) == x
+        total = Plus(x, Plus(y, Int(1)))
+        assert total.op == "add" and len(total.args) == 3
+
+
+class TestInspection:
+    def test_free_vars(self):
+        formula = ForAll(x, Implies(Lt(x, y), Member(a, nodes)))
+        names = free_var_names(formula)
+        assert names == {"y", "a", "nodes"}
+
+    def test_free_vars_shadowing(self):
+        formula = ForAll(x, Lt(x, Int(3)))
+        assert free_vars(formula) == frozenset()
+
+    def test_subterms_and_size(self):
+        formula = And(Lt(x, y), Eq(a, b))
+        listed = list(subterms(formula))
+        assert formula in listed and x in listed and b in listed
+        assert term_size(formula) == 7
+
+    def test_contains_quantifier(self):
+        assert contains_quantifier(ForAll(x, Lt(x, y)))
+        assert not contains_quantifier(Lt(x, y))
+
+    def test_hashable_and_equal(self):
+        assert And(Lt(x, y), Eq(a, b)) == And(Lt(x, y), Eq(a, b))
+        assert {Lt(x, y): 1}[Lt(x, y)] == 1

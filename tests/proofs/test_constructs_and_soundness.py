@@ -1,0 +1,141 @@
+"""The integrated proof language: translation (Figure 8) and soundness.
+
+The soundness test mechanically reproduces Appendix A: for every construct,
+``wlp([[p]], H) --> H`` is discharged by the prover portfolio, and
+additionally cross-checked against the finite-model evaluator.
+"""
+
+import pytest
+
+from repro.gcl import SAssert, SAssume, SChoice, SSeq, Skip, desugar
+from repro.gcl.wlp import wlp
+from repro.logic import INT, Var
+from repro.logic.evaluator import all_interpretations, holds
+from repro.logic.parser import parse_formula
+from repro.logic.terms import free_vars
+from repro.proofs import (
+    Assuming,
+    ByContradiction,
+    Cases,
+    Contradiction,
+    Fix,
+    Induct,
+    Instantiate,
+    Localize,
+    Mp,
+    Note,
+    PickAny,
+    PickWitness,
+    ProofTranslationError,
+    ShowedCase,
+    Witness,
+    construct_name,
+    soundness_obligation,
+)
+from repro.proofs.soundness import SoundnessChecker
+
+ENV = {"x": INT, "y": INT, "n": INT}
+F = lambda text: parse_formula(text, ENV)  # noqa: E731
+n = Var("n", INT)
+
+
+def all_constructs():
+    return [
+        Note("L", F("x <= x")),
+        Note("L", F("x <= x + 1"), ("Pre", "Inv")),
+        Localize(Note("inner", F("x <= x + 1")), "L", F("x <= x + 2")),
+        Mp("L", F("x <= y"), F("x <= y + 1")),
+        Assuming("h", F("x <= y"), Skip(), "c", F("x <= y + 1")),
+        Cases((F("x <= y"), F("y <= x")), "L", F("x <= y | y <= x")),
+        ShowedCase(1, "L", (F("x <= x"), F("x < 0"))),
+        ByContradiction("L", F("x <= x"), Skip()),
+        Contradiction("L", F("x = x")),
+        Instantiate("L", F("ALL k : int. k <= k"), (Var("x", INT),)),
+        Witness((Var("x", INT),), "L", F("EX k : int. k <= x")),
+        PickWitness((Var("w", INT),), "h", F("w = w"), Skip(), "c", F("x = x")),
+        PickAny((Var("z", INT),), Skip(), "L", F("z <= z")),
+        Induct("L", F("0 <= n"), n, Skip()),
+        Fix((Var("z", INT),), F("z = x"), Skip(), "L", F("z = x")),
+    ]
+
+
+class TestTranslation:
+    def test_note_is_assert_then_assume(self):
+        command = desugar(Note("L", F("x <= x"), ("Pre",)))
+        assert isinstance(command, SSeq)
+        first, second = command.commands
+        assert isinstance(first, SAssert) and first.from_hints == ("Pre",)
+        assert isinstance(second, SAssume) and second.label == "L"
+
+    def test_local_base_pattern(self):
+        command = desugar(Assuming("h", F("x <= y"), Skip(), "c", F("x <= y + 1")))
+        assert isinstance(command, SSeq)
+        assert isinstance(command.commands[0], SChoice)
+        assert isinstance(command.commands[-1], SAssume)
+
+    def test_cases_emits_coverage_and_per_case_obligations(self):
+        command = desugar(
+            Cases((F("x <= y"), F("y <= x")), "L", F("x <= y | y <= x"))
+        )
+        asserts = [c for c in command.commands if isinstance(c, SAssert)]
+        assert len(asserts) == 3  # coverage + 2 cases
+
+    def test_instantiate_requires_universal(self):
+        with pytest.raises(ProofTranslationError):
+            desugar(Instantiate("L", F("x <= y"), (Var("x", INT),)))
+
+    def test_witness_arity_checked(self):
+        with pytest.raises(ProofTranslationError):
+            desugar(Witness((), "L", F("EX k : int. k <= x")))
+
+    def test_pickwitness_freshness_condition(self):
+        w = Var("w", INT)
+        with pytest.raises(ProofTranslationError):
+            desugar(PickWitness((w,), "h", F("w = w"), Skip(), "c",
+                                parse_formula("w <= w", {"w": INT})))
+
+    def test_fix_rejects_modified_fixed_variables(self):
+        from repro.gcl.extended import Assign
+
+        z = Var("z", INT)
+        with pytest.raises(ProofTranslationError):
+            desugar(Fix((z,), F("z = x"), Assign(z, F("x = x")), "L", F("x = x")))
+
+    def test_construct_names(self):
+        names = {construct_name(c) for c in all_constructs()}
+        assert {"note", "witness", "pickAny", "induct", "fix"} <= names
+
+
+class TestSoundness:
+    @pytest.fixture(scope="class")
+    def checker(self):
+        return SoundnessChecker()
+
+    @pytest.mark.parametrize(
+        "construct", all_constructs(), ids=lambda c: construct_name(c)
+    )
+    def test_every_construct_is_stronger_than_skip(self, checker, construct):
+        post = F("x <= y | y <= x")
+        report = checker.check(construct, post)
+        assert report.proved, f"{report.construct}: {report.obligation}"
+
+    @pytest.mark.parametrize(
+        "construct",
+        [c for c in all_constructs() if construct_name(c) in ("note", "mp", "witness",
+                                                              "cases", "contradiction")],
+        ids=lambda c: construct_name(c),
+    )
+    def test_soundness_obligation_valid_in_finite_models(self, construct):
+        post = F("x <= y | y <= x")
+        obligation = soundness_obligation(construct, post)
+        free = sorted(free_vars(obligation), key=lambda v: v.name)
+        for interp in all_interpretations(free, int_values=(-1, 0, 1), int_range=(-1, 1)):
+            assert holds(obligation, interp)
+
+    def test_wlp_of_note_adds_lemma(self):
+        command = desugar(Note("L", F("x <= x + 1")))
+        post = F("x <= x + 1")
+        obligation = wlp(command, post)
+        for interp in all_interpretations(sorted(free_vars(obligation), key=str),
+                                          int_values=(-2, 0, 2), int_range=(-2, 2)):
+            assert holds(obligation, interp)

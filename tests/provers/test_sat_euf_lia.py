@@ -1,0 +1,200 @@
+"""Tests for the low-level reasoning engines: SAT, congruence closure, LIA."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import Int, IntVar, ObjVar, Select, Var, map_of
+from repro.logic.sorts import OBJ
+from repro.provers.euf import CongruenceClosure
+from repro.provers.lia import LinearExpr, LinearSolver, linearize
+from repro.provers.sat import SatSolver, Tseitin
+
+
+# -- SAT ---------------------------------------------------------------------
+
+
+def _brute_force(clauses, nvars):
+    for bits in itertools.product([False, True], repeat=nvars):
+        model = {i + 1: bits[i] for i in range(nvars)}
+        if all(any(model[abs(l)] == (l > 0) for l in c) for c in clauses):
+            return True
+    return False
+
+
+class TestSatSolver:
+    def test_simple_sat(self):
+        solver = SatSolver()
+        solver.add_clauses([[1, 2], [-1, 2], [1, -2]])
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.model[1] and result.model[2]
+
+    def test_simple_unsat(self):
+        solver = SatSolver()
+        solver.add_clauses([[1], [-1]])
+        assert not solver.solve().satisfiable
+
+    def test_pigeonhole_unsat(self):
+        # 3 pigeons, 2 holes: variable p(i,h) = 2*i + h + 1.
+        solver = SatSolver()
+        var = lambda i, h: 2 * i + h + 1  # noqa: E731
+        for i in range(3):
+            solver.add_clause([var(i, 0), var(i, 1)])
+        for h in range(2):
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    solver.add_clause([-var(i, h), -var(j, h)])
+        assert not solver.solve().satisfiable
+
+    def test_empty_clause_is_unsat(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.clauses.append([])
+        assert not solver.solve().satisfiable
+
+    def test_assumptions(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]).satisfiable
+        assert not solver.solve(assumptions=[-1, -2]).satisfiable
+
+
+@given(
+    clause_data=st.lists(
+        st.lists(
+            st.tuples(st.integers(1, 6), st.booleans()).map(
+                lambda p: p[0] if p[1] else -p[0]
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        min_size=1,
+        max_size=24,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_sat_matches_brute_force(clause_data):
+    solver = SatSolver()
+    for clause in clause_data:
+        solver.add_clause(clause)
+    assert solver.solve().satisfiable == _brute_force(clause_data, 6)
+
+
+class TestTseitin:
+    def test_atom_sharing(self):
+        tseitin = Tseitin()
+        assert tseitin.atom_var("a") == tseitin.atom_var("a")
+        assert tseitin.atom_var("a") != tseitin.atom_var("b")
+
+    def test_and_or_encoding(self):
+        tseitin = Tseitin()
+        a, b = tseitin.atom_var("a"), tseitin.atom_var("b")
+        conj = tseitin.encode_and([a, b])
+        tseitin.assert_literal(conj)
+        result = tseitin.solve()
+        assert result.satisfiable
+        assert result.model[a] and result.model[b]
+
+
+# -- Congruence closure --------------------------------------------------------
+
+a, b, c = ObjVar("a"), ObjVar("b"), ObjVar("c")
+f = Var("f", map_of(OBJ, OBJ))
+
+
+class TestCongruenceClosure:
+    def test_transitivity(self):
+        cc = CongruenceClosure()
+        cc.assert_equal(a, b)
+        cc.assert_equal(b, c)
+        assert cc.are_equal(a, c)
+
+    def test_congruence_over_select(self):
+        cc = CongruenceClosure()
+        cc.intern(Select(f, a))
+        cc.intern(Select(f, b))
+        cc.assert_equal(a, b)
+        assert cc.are_equal(Select(f, a), Select(f, b))
+
+    def test_disequality_conflict(self):
+        cc = CongruenceClosure()
+        cc.assert_distinct(Select(f, a), Select(f, b))
+        cc.assert_equal(a, b)
+        assert cc.check() is not None
+
+    def test_consistent_state(self):
+        cc = CongruenceClosure()
+        cc.assert_equal(a, b)
+        cc.assert_distinct(a, c)
+        assert cc.check() is None
+
+    def test_distinct_int_literals_conflict(self):
+        cc = CongruenceClosure()
+        cc.assert_equal(Int(1), Int(2))
+        assert cc.check() is not None
+
+    def test_implied_equalities(self):
+        cc = CongruenceClosure()
+        cc.assert_equal(a, b)
+        pairs = cc.implied_equalities([a, b, c])
+        assert (a, b) in pairs or (b, a) in pairs
+
+
+# -- Linear integer arithmetic ----------------------------------------------------
+
+x, y, z = IntVar("x"), IntVar("y"), IntVar("z")
+
+
+class TestLinearSolver:
+    def test_cycle_is_infeasible(self):
+        solver = LinearSolver()
+        solver.add_le_terms(x, y)
+        solver.add_lt_terms(y, z)
+        solver.add_le_terms(z, x)
+        assert solver.is_infeasible()
+
+    def test_chain_is_feasible(self):
+        solver = LinearSolver()
+        solver.add_le_terms(x, y)
+        solver.add_le_terms(y, z)
+        assert not solver.is_infeasible()
+
+    def test_entailment(self):
+        solver = LinearSolver()
+        solver.add_le_terms(x, y)
+        solver.add_le_terms(y, z)
+        assert solver.entails_le(linearize(x).sub(linearize(z)))
+        assert not solver.entails_le(linearize(z).sub(linearize(x)))
+
+    def test_equality_constraints(self):
+        solver = LinearSolver()
+        solver.add_eq_terms(x, y)
+        solver.add_lt_terms(x, y)
+        assert solver.is_infeasible()
+
+    def test_integer_tightening(self):
+        # x < y and y < x + 1 has rational solutions but no integer ones;
+        # tightening x < y to x + 1 <= y detects it.
+        solver = LinearSolver()
+        solver.add_lt_terms(x, y)
+        solver.add_lt_terms(y, Var("x", x.sort))
+        assert solver.is_infeasible()
+
+    def test_implied_equalities(self):
+        solver = LinearSolver()
+        solver.add_le_terms(x, y)
+        solver.add_le_terms(y, x)
+        assert (x, y) in solver.implied_equalities([x, y, z])
+
+    def test_linearize_nested(self):
+        from repro.logic.builder import Plus
+
+        expr = linearize(Plus(x, x, Int(2)))
+        assert expr.coefficient(x) == 2
+        assert expr.constant == 2
+
+    def test_linear_expr_algebra(self):
+        expr = LinearExpr.of_atom(x).scale(3).add(LinearExpr.of_constant(4))
+        assert expr.coefficient(x) == 3 and expr.constant == 4
+        assert expr.sub(expr).is_constant

@@ -1,0 +1,123 @@
+"""Coverage for the theory combination, array lemmas and preprocessing."""
+
+from repro.logic import INT, OBJ, map_of, set_of
+from repro.logic.clauses import Literal
+from repro.logic.parser import parse_formula, parse_term
+from repro.logic.terms import App
+from repro.provers.arrays import select_store_lemmas
+from repro.provers.quant import InstantiationEngine, collect_ground_terms
+from repro.provers.result import ProofTask
+from repro.provers.rewriter import prepare, split_conjuncts
+from repro.provers.theory import TheoryChecker
+
+ENV = {
+    "x": INT, "y": INT, "i": INT, "j": INT, "size": INT,
+    "a": OBJ, "b": OBJ, "o": OBJ,
+    "g": map_of(INT, INT), "f": map_of(OBJ, OBJ),
+    "elements": map_of(INT, OBJ), "nodes": set_of(OBJ),
+}
+F = lambda text: parse_formula(text, ENV)  # noqa: E731
+T = lambda text: parse_term(text, ENV)  # noqa: E731
+
+
+class TestTheoryChecker:
+    def test_euf_lia_exchange_detects_conflict(self):
+        literals = [
+            Literal(F("x = y")),
+            Literal(F("g[x] = 3")),
+            Literal(F("2 < g[y]"), positive=False),
+        ]
+        conflict = TheoryChecker().check(literals)
+        assert conflict is not None
+        assert len(conflict.core) <= 3
+
+    def test_consistent_literals(self):
+        literals = [Literal(F("x <= y")), Literal(F("f[a] = b"))]
+        assert TheoryChecker().check(literals) is None
+
+    def test_uninterpreted_boolean_atoms(self):
+        literals = [Literal(F("a in nodes")), Literal(F("a in nodes"), positive=False)]
+        assert TheoryChecker().check(literals) is not None
+
+    def test_core_minimisation(self):
+        literals = [
+            Literal(F("a = b")),
+            Literal(F("a in nodes")),
+            Literal(F("x <= y")),
+            Literal(F("f[a] = f[b]"), positive=False),
+        ]
+        conflict = TheoryChecker().check(literals)
+        assert conflict is not None
+        core_atoms = {str(lit.atom) for lit in conflict.core}
+        assert "a in nodes" not in core_atoms
+        assert "x <= y" not in core_atoms
+
+
+class TestArrayLemmas:
+    def test_lemma_generated_for_select_over_store(self):
+        formula = F("elements[i := o][j] = elements[j]")
+        lemmas = select_store_lemmas([formula])
+        assert lemmas
+        assert any("i = j" in str(l) or "j = i" in str(l) for l in lemmas)
+
+    def test_no_lemmas_without_stores(self):
+        assert select_store_lemmas([F("elements[i] = o")]) == []
+
+    def test_nested_stores_iterate(self):
+        formula = F("elements[i := o][j := o][x] = o")
+        lemmas = select_store_lemmas([formula])
+        assert len(lemmas) >= 2
+
+
+class TestPreparation:
+    def test_split_conjuncts(self):
+        assert len(split_conjuncts(F("x <= y & y <= x & a = b"))) == 3
+
+    def test_prepare_separates_ground_and_axioms(self):
+        task = ProofTask(
+            (("h", F("ALL k : int. g[k] <= g[k + 1]")), ("g0", F("x <= y"))),
+            F("g[0] <= g[1]"),
+        )
+        prepared = prepare(task)
+        assert prepared.axioms and prepared.ground
+        assert not prepared.trivially_proved
+
+    def test_prepare_trivial_goal(self):
+        task = ProofTask((), F("x = x"))
+        assert prepare(task).trivially_proved
+
+    def test_prepare_inlines_definitions(self):
+        task = ProofTask(
+            (("def", F("y = x + 1")), ("use", F("g[y] = 3"))),
+            F("g[x + 1] = 3"),
+        )
+        prepared = prepare(task)
+        rendered = " ; ".join(str(g) for g in prepared.ground)
+        assert "x + 1" in rendered
+
+    def test_goal_pieces_are_priorities(self):
+        task = ProofTask((("h", F("x <= y")),), F("EX k : int. g[k] = 0"))
+        prepared = prepare(task)
+        assert prepared.goal_hint
+
+
+class TestInstantiation:
+    def test_ground_term_collection(self):
+        by_sort = collect_ground_terms([F("g[3] <= g[size]"), F("a in nodes")])
+        ints = {str(t) for t in by_sort.get(INT, [])}
+        assert "3" in ints and "size" in ints
+
+    def test_trigger_based_candidates(self):
+        engine = InstantiationEngine()
+        axiom = F("ALL k : int. 0 <= k & k < size --> elements[k] ~= null")
+        engine.add_axiom(axiom)
+        ground = [F("0 <= i"), F("i < size"), F("elements[i] = null")]
+        instances = engine.saturate(ground, ground)
+        assert any("elements[i]" in str(inst) for inst in instances)
+
+    def test_instantiation_budget_respected(self):
+        engine = InstantiationEngine(max_total_instances=5)
+        engine.add_axiom(F("ALL k : int. g[k] <= g[k + 1]"))
+        ground = [F(f"g[{n}] = {n}") for n in range(10)]
+        engine.saturate(ground, [])
+        assert engine.total_instances <= 5

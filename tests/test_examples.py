@@ -1,0 +1,45 @@
+"""Smoke tests: the example scripts run and report success."""
+
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+def test_quickstart_verifies_counter(capsys):
+    import quickstart
+
+    quickstart.main()
+    output = capsys.readouterr().out
+    assert "increment" in output and "FAILED" not in output
+
+
+def test_soundness_example_checks_every_construct(capsys):
+    import soundness_check
+
+    soundness_check.main()
+    output = capsys.readouterr().out
+    assert "all constructs verified" in output
+    assert "NOT PROVED" not in output
+
+
+def test_example_scripts_exist_and_are_documented():
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert {
+        "quickstart.py",
+        "arraylist_remove.py",
+        "multi_prover_cooperation.py",
+        "soundness_check.py",
+    } <= set(scripts)
+    for script in scripts:
+        text = (EXAMPLES_DIR / script).read_text()
+        assert text.lstrip().startswith('"""'), f"{script} lacks a docstring"

@@ -1,0 +1,139 @@
+"""VC generation: splitting (Figure 7), sequents, assumption-base control."""
+
+from repro.gcl import SAssert, SAssume, SHavoc, schoice, sseq
+from repro.logic import INT, IntVar, Var
+from repro.logic.parser import parse_formula
+from repro.provers import default_portfolio
+from repro.vcgen import (
+    Sequent,
+    apply_from_clause,
+    generate_sequents,
+    ignore_from_clause,
+    relevance_filter,
+    split_goal,
+)
+
+ENV = {"x": INT, "y": INT, "z": INT, "size": INT}
+F = lambda text: parse_formula(text, ENV)  # noqa: E731
+x, y = IntVar("x"), IntVar("y")
+
+
+class TestSplitGoal:
+    def test_conjunction_splits(self):
+        pieces = split_goal(F("x <= y & y <= z"), "Post")
+        assert len(pieces) == 2
+
+    def test_implication_folds_hypothesis(self):
+        pieces = split_goal(F("x <= y --> x <= y + 1"), "Post")
+        assert len(pieces) == 1
+        assert pieces[0].hypotheses and pieces[0].goal == F("x <= y + 1")
+
+    def test_universal_introduces_fresh_constant(self):
+        pieces = split_goal(F("ALL k : int. k <= k"), "Post")
+        assert len(pieces) == 1
+        assert not pieces[0].goal == F("ALL k : int. k <= k")
+
+    def test_nested_structure(self):
+        pieces = split_goal(F("x <= y --> (x <= z & ALL k : int. k <= k)"), "Post")
+        assert len(pieces) == 2
+        assert all(p.hypotheses for p in pieces)
+
+
+class TestSequentGeneration:
+    def test_assume_then_assert(self):
+        command = sseq(SAssume(F("x <= y"), "Pre"), SAssert(F("x <= y + 1"), "Goal"))
+        sequents = generate_sequents(command)
+        assert len(sequents) == 1
+        sequent = sequents[0]
+        assert sequent.label == "Goal"
+        assert ("Pre", F("x <= y")) in sequent.assumptions
+
+    def test_assume_false_discharges_branch(self):
+        command = sseq(
+            SAssume(F("x ~= x"), "Dead"), SAssert(F("x <= y"), "Unreachable")
+        )
+        assert generate_sequents(command) == []
+
+    def test_choice_duplicates_pending_obligations(self):
+        command = sseq(
+            schoice(SAssume(F("x <= y"), "Left"), SAssume(F("y <= x"), "Right")),
+            SAssert(F("x <= y | y <= x"), "Goal"),
+        )
+        sequents = generate_sequents(command)
+        assert len(sequents) == 2
+        labels = {s.assumptions[0][0] for s in sequents}
+        assert labels == {"Left", "Right"}
+
+    def test_havoc_renames_downstream_occurrences(self):
+        command = sseq(
+            SAssume(F("x <= y"), "Before"),
+            SHavoc((x,)),
+            SAssert(F("x <= y"), "Goal"),
+        )
+        sequents = generate_sequents(command)
+        assert len(sequents) == 1
+        sequent = sequents[0]
+        # The havoc only affects the obligation downstream of it: the goal's x
+        # is renamed, the assumption keeps the original x.
+        assert sequent.goal != F("x <= y")
+        assert ("Before", F("x <= y")) in sequent.assumptions
+
+    def test_trivial_sequents_are_discharged(self):
+        command = sseq(SAssume(F("x <= y"), "Pre"), SAssert(F("x <= y"), "Same"))
+        assert generate_sequents(command) == []
+
+    def test_post_condition_obligation(self):
+        command = SAssume(F("x <= y"), "Pre")
+        sequents = generate_sequents(command, post=F("x <= y & 0 <= size"))
+        # The first conjunct is syntactically identical to the assumption and
+        # is discharged during splitting; only the second remains.
+        assert {s.label for s in sequents} == {"Post.2"}
+
+    def test_end_to_end_with_portfolio(self):
+        command = sseq(
+            SAssume(F("0 <= x"), "Pre"),
+            SAssert(F("x < x + 1 & 0 <= x"), "Goal"),
+        )
+        portfolio = default_portfolio()
+        for sequent in generate_sequents(command):
+            assert portfolio.dispatch(sequent.to_task()).proved
+
+
+class TestAssumptionControl:
+    def _sequent(self):
+        return Sequent(
+            assumptions=(("Pre", F("x <= y")), ("Noise", F("0 <= size"))),
+            goal=F("x <= y + 1"),
+            label="Goal",
+            from_hints=("Pre",),
+        )
+
+    def test_from_clause_restricts_assumptions(self):
+        task = apply_from_clause(self._sequent())
+        assert [name for name, _ in task.assumptions] == ["Pre"]
+
+    def test_from_clause_can_be_ignored(self):
+        task = ignore_from_clause(self._sequent())
+        assert len(task.assumptions) == 2
+
+    def test_local_assumptions_always_kept(self):
+        sequent = Sequent(
+            assumptions=(("Noise", F("0 <= size")),),
+            goal=F("x <= y + 1"),
+            label="Goal",
+            from_hints=("Pre",),
+            local_assumptions=(("Goal.hyp", F("x <= y")),),
+        )
+        task = sequent.to_task()
+        assert ("Goal.hyp", F("x <= y")) in task.assumptions
+
+    def test_relevance_filter_keeps_goal_related_assumptions(self):
+        assumptions = tuple(
+            (f"h{i}", F(f"size <= size + {i}")) for i in range(80)
+        ) + (("Key", F("x <= y")),)
+        from repro.provers.result import ProofTask
+
+        task = ProofTask(assumptions, F("x <= y + 1"))
+        filtered = relevance_filter(task, max_assumptions=10)
+        names = [name for name, _ in filtered.assumptions]
+        assert "Key" in names and len(names) <= 10

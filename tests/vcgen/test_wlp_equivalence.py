@@ -1,0 +1,63 @@
+"""Property test: the sequent generator agrees with the wlp semantics.
+
+For random simple guarded commands, the conjunction of the generated
+sequents is valid exactly when ``wlp(command, post)`` is valid (checked by
+brute-force enumeration of small interpretations).  This ties the
+sequent-producing verification-condition generator (Figure 7 style) to the
+reference weakest-liberal-precondition semantics (Figure 5).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gcl import SAssert, SAssume, SHavoc, schoice, sseq, sskip
+from repro.gcl.wlp import wlp
+from repro.logic import And, Eq, Int, IntVar, Le, Lt
+from repro.logic.evaluator import all_interpretations, holds
+from repro.logic.terms import free_vars
+from repro.vcgen import generate_sequents
+
+x, y, z = IntVar("x"), IntVar("y"), IntVar("z")
+
+_atoms = st.sampled_from(
+    [Lt(x, y), Le(y, x), Eq(x, Int(0)), Lt(y, Int(2)), Le(Int(0), z), Eq(y, z)]
+)
+
+
+@st.composite
+def _commands(draw, depth=2):
+    if depth == 0:
+        kind = draw(st.sampled_from(["skip", "assume", "assert", "havoc"]))
+        if kind == "skip":
+            return sskip()
+        if kind == "assume":
+            return SAssume(draw(_atoms), "H")
+        if kind == "assert":
+            return SAssert(draw(_atoms), "G")
+        return SHavoc((draw(st.sampled_from([x, y, z])),))
+    kind = draw(st.sampled_from(["seq", "choice", "leaf"]))
+    if kind == "leaf":
+        return draw(_commands(depth=0))
+    left = draw(_commands(depth=depth - 1))
+    right = draw(_commands(depth=depth - 1))
+    if kind == "seq":
+        return sseq(left, right)
+    return schoice(left, right)
+
+
+def _valid(formula) -> bool:
+    variables = sorted(free_vars(formula), key=lambda v: v.name)
+    return all(
+        holds(formula, interp)
+        for interp in all_interpretations(
+            variables, int_values=(-1, 0, 1), int_range=(-1, 1)
+        )
+    )
+
+
+@given(command=_commands(), post=_atoms)
+@settings(max_examples=60, deadline=None)
+def test_sequents_valid_iff_wlp_valid(command, post):
+    wlp_formula = wlp(command, post)
+    sequents = generate_sequents(command, post=post, post_label="Post")
+    sequent_conjunction = And(*[s.formula() for s in sequents])
+    assert _valid(sequent_conjunction) == _valid(wlp_formula)

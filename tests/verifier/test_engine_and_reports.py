@@ -1,0 +1,97 @@
+"""The verification engine, reports and table generation."""
+
+from repro.suite.common import StructureBuilder
+from repro.verifier import (
+    VerificationEngine,
+    format_table1,
+    format_table2,
+    table1_rows,
+)
+from repro.verifier.report import Table2Row, format_table
+
+
+def build_toy():
+    s = StructureBuilder("Toy")
+    s.concrete("value", "int")
+    s.invariant("NonNegative", "0 <= value")
+    m = s.method(
+        "bump",
+        requires="value < 100",
+        modifies="value",
+        ensures="value = old value + 1",
+    )
+    m.assign("value", "value + 1")
+    m.done()
+    m = s.method(
+        "broken",
+        modifies="value",
+        ensures="value = old value + 1",
+    )
+    m.assign("value", "value - 1")  # does not satisfy its contract
+    m.done()
+    return s.build()
+
+
+class TestEngine:
+    def test_method_report_contents(self):
+        toy = build_toy()
+        engine = VerificationEngine()
+        report = engine.verify_method(toy, toy.method("bump"))
+        assert report.verified
+        assert report.sequents_total == report.sequents_proved > 0
+        assert all(outcome.prover for outcome in report.outcomes)
+
+    def test_incorrect_method_fails(self):
+        toy = build_toy()
+        engine = VerificationEngine()
+        report = engine.verify_method(toy, toy.method("broken"))
+        assert not report.verified
+        assert report.failed_sequents
+
+    def test_class_report_aggregation(self):
+        toy = build_toy()
+        engine = VerificationEngine()
+        report = engine.verify_class(toy)
+        assert report.methods_total == 2
+        assert report.methods_verified == 1
+        assert not report.verified
+        assert report.sequents_total == sum(m.sequents_total for m in report.methods)
+        assert report.elapsed > 0
+
+
+class TestReports:
+    def test_table1_rows_without_engine(self):
+        rows = table1_rows([build_toy()], engine=None)
+        assert len(rows) == 1
+        assert rows[0].methods == 2
+        text = format_table1(rows)
+        assert "Toy" in text and "note" in text.lower()
+
+    def test_table2_formatting(self):
+        row = Table2Row(
+            class_name="Toy",
+            methods_without=1,
+            methods_total=2,
+            sequents_without=5,
+            sequents_total_without=8,
+            methods_with=2,
+            sequents_with=8,
+            sequents_total_with=8,
+        )
+        text = format_table2([row])
+        assert "1 of 2" in text and "5 of 8" in text
+
+    def test_generic_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) <= 2
+
+
+class TestCli:
+    def test_cli_list(self, capsys):
+        from repro.verifier.cli import main
+
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "Linked List" in output and "Hash Table" in output
