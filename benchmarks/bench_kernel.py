@@ -1,0 +1,106 @@
+"""Term-kernel microbenchmarks: interning, substitution, simplify, wlp.
+
+These isolate the hot paths the hash-consed kernel accelerates: deep-term
+construction (pool hits versus fresh allocations), capture-avoiding
+substitution over wide/deep formulas, fixpoint simplification, and
+weakest-precondition generation over guarded commands with duplicated
+branches.  The workload builders are plain functions parameterised by depth
+so the tier-1 smoke test (``tests/test_bench_smoke.py``) can run the exact
+same code at tiny sizes; perf regressions then show up in the BENCH_*.json
+trajectory via the full-size runs here.
+"""
+
+from __future__ import annotations
+
+from repro.gcl.simple import SAssert, SAssume, SChoice, SHavoc, SSeq
+from repro.gcl.wlp import wlp
+from repro.logic import builder as b
+from repro.logic.simplify import clear_simplify_memos, simplify
+from repro.logic.sorts import INT
+from repro.logic.subst import substitute
+from repro.logic.terms import Term, Var, dag_size
+
+
+def build_deep_formula(depth: int) -> Term:
+    """A deep conjunction/comparison tower over a handful of variables.
+
+    Subterms repeat on purpose: with hash-consing the tree is a DAG and the
+    memoized passes visit every distinct node once.
+    """
+    x, y, z = b.IntVar("x"), b.IntVar("y"), b.IntVar("z")
+    formula = b.Lt(x, y)
+    for level in range(depth):
+        bound = b.IntVar(f"k{level % 4}")
+        formula = b.And(
+            b.Implies(b.Le(b.Plus(x, b.Int(level % 7)), z), formula),
+            b.ForAll([bound], b.Or(b.Lt(bound, y), formula)),
+        )
+    return formula
+
+
+def workload_interning(depth: int = 150, repeats: int = 3) -> int:
+    """Rebuild the same deep formula several times; later rounds are pure
+    pool hits."""
+    last = 0
+    for _ in range(repeats):
+        last = dag_size(build_deep_formula(depth))
+    return last
+
+
+def workload_substitute(depth: int = 150) -> Term:
+    """Substitute one leaf variable through a deep shared formula."""
+    formula = build_deep_formula(depth)
+    mapping = {Var("z", INT): b.Plus(b.IntVar("x"), b.Int(1))}
+    return substitute(formula, mapping)
+
+
+def workload_simplify(depth: int = 120, cold: bool = True) -> Term:
+    """Fixpoint-simplify a deep formula (cold caches by default)."""
+    formula = build_deep_formula(depth)
+    if cold:
+        clear_simplify_memos()
+    return simplify(formula)
+
+
+def build_branchy_command(depth: int) -> SSeq:
+    """A guarded command with nested choices sharing subcommands."""
+    x = b.IntVar("x")
+    y = b.IntVar("y")
+    check = SAssert(b.Le(b.Int(0), x), label="Bound")
+    step = SSeq(
+        (
+            SAssume(b.Lt(x, y), label="Guard"),
+            SHavoc((x,)),
+            check,
+        )
+    )
+    command: SSeq = step
+    for _ in range(depth):
+        command = SSeq((SChoice(command, command), check))
+    return command
+
+
+def workload_wlp(depth: int = 14) -> Term:
+    """wlp over a command whose naive expansion is exponential in depth."""
+    command = build_branchy_command(depth)
+    return wlp(command, b.Le(b.Int(0), b.IntVar("y")))
+
+
+def test_kernel_interning(benchmark):
+    size = benchmark(workload_interning)
+    assert size > 0
+
+
+def test_kernel_substitute(benchmark):
+    result = benchmark(workload_substitute)
+    assert result.is_formula
+
+
+def test_kernel_simplify(benchmark):
+    result = benchmark(workload_simplify)
+    assert result.is_formula
+
+
+def test_kernel_wlp(benchmark):
+    result = benchmark(workload_wlp)
+    assert result.is_formula

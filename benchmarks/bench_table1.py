@@ -13,11 +13,14 @@ from __future__ import annotations
 import pytest
 
 from conftest import make_engine
+from repro.logic.terms import term_stats
 from repro.suite import all_structures
-from repro.verifier.report import Table1Row, format_table1, table1_rows
-from repro.verifier.stats import class_statistics
+from repro.provers.result import PortfolioStatistics
+from repro.verifier.report import Table1Row, format_performance, format_table1, table1_rows
+from repro.verifier.stats import PerformanceCounters, class_statistics, performance_counters
 
 _ROWS: list[Table1Row] = []
+_PORTFOLIO_TOTALS = PortfolioStatistics()
 
 
 @pytest.mark.parametrize(
@@ -26,11 +29,22 @@ _ROWS: list[Table1Row] = []
 def test_table1_row(structure, benchmark):
     """Verify one data structure and record its Table 1 row."""
     engine = make_engine()
+    terms_before = term_stats()
 
     def verify():
         return engine.verify_class(structure)
 
     report = benchmark.pedantic(verify, rounds=1, iterations=1)
+    _PORTFOLIO_TOTALS.merge(engine.portfolio.statistics)
+    counters = performance_counters(engine.portfolio)
+    benchmark.extra_info["proof_cache_hits"] = counters.proof_cache_hits
+    benchmark.extra_info["proof_cache_misses"] = counters.proof_cache_misses
+    benchmark.extra_info["terms_allocated"] = (
+        counters.terms_allocated - terms_before.allocated
+    )
+    benchmark.extra_info["terms_interned"] = (
+        counters.terms_interned - terms_before.interned_hits
+    )
     stats = class_statistics(structure)
     _ROWS.append(
         Table1Row(
@@ -62,4 +76,18 @@ def test_table1_print():
         rows = _ROWS
     print("\n\nTable 1 -- construct counts and verification times\n")
     print(format_table1(rows))
+    print()
+    terms = performance_counters()
+    print(
+        format_performance(
+            PerformanceCounters(
+                terms_allocated=terms.terms_allocated,
+                terms_interned=terms.terms_interned,
+                proof_cache_hits=_PORTFOLIO_TOTALS.cache_hits,
+                proof_cache_misses=_PORTFOLIO_TOTALS.cache_misses,
+                sequents_attempted=_PORTFOLIO_TOTALS.sequents_attempted,
+                sequents_proved=_PORTFOLIO_TOTALS.sequents_proved,
+            )
+        )
+    )
     assert len(rows) == len(all_structures())

@@ -23,9 +23,12 @@ TIMEOUT_SCALE = 0.4
 @pytest.fixture
 def engine() -> VerificationEngine:
     """A verification engine with benchmark-scaled prover timeouts."""
-    return VerificationEngine(default_portfolio().scaled(TIMEOUT_SCALE))
+    return make_engine()
 
 
-def make_engine() -> VerificationEngine:
+def make_engine(use_proof_cache: bool = True) -> VerificationEngine:
     """Engine factory for benchmarks that need a fresh engine per call."""
-    return VerificationEngine(default_portfolio().scaled(TIMEOUT_SCALE))
+    return VerificationEngine(
+        default_portfolio(with_cache=use_proof_cache).scaled(TIMEOUT_SCALE),
+        use_proof_cache=use_proof_cache,
+    )

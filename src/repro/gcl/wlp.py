@@ -33,7 +33,36 @@ __all__ = ["wlp"]
 
 
 def wlp(command: SimpleCommand, post: Term) -> Term:
-    """The weakest liberal precondition of ``command`` for ``post``."""
+    """The weakest liberal precondition of ``command`` for ``post``.
+
+    The recursion is memoized by ``(command identity, postcondition)``:
+    desugared proof constructs share subcommands, and choices duplicate the
+    postcondition into both branches, so identical subproblems recur.  With
+    hash-consed terms the memo key costs O(1) and the result of a repeated
+    subproblem is the identical formula object.
+    """
+    return _wlp(command, post, {})
+
+
+def _wlp(
+    command: SimpleCommand,
+    post: Term,
+    memo: dict[tuple[int, Term], Term],
+) -> Term:
+    key = (id(command), post)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    result = _wlp_uncached(command, post, memo)
+    memo[key] = result
+    return result
+
+
+def _wlp_uncached(
+    command: SimpleCommand,
+    post: Term,
+    memo: dict[tuple[int, Term], Term],
+) -> Term:
     if isinstance(command, SSkip):
         return post
     if isinstance(command, SAssume):
@@ -45,10 +74,12 @@ def wlp(command: SimpleCommand, post: Term) -> Term:
             return post
         return b.ForAll(list(command.variables), post)
     if isinstance(command, SChoice):
-        return b.And(wlp(command.left, post), wlp(command.right, post))
+        return b.And(
+            _wlp(command.left, post, memo), _wlp(command.right, post, memo)
+        )
     if isinstance(command, SSeq):
         current = post
         for sub in reversed(command.commands):
-            current = wlp(sub, current)
+            current = _wlp(sub, current, memo)
         return current
     raise TypeError(f"unknown simple command {type(command)!r}")

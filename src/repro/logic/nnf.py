@@ -30,23 +30,55 @@ from .terms import (
     function_symbols,
 )
 
-__all__ = ["eliminate_sugar", "to_nnf", "skolemize", "prenex", "matrix_of"]
+__all__ = [
+    "eliminate_sugar",
+    "to_nnf",
+    "skolemize",
+    "prenex",
+    "matrix_of",
+    "clear_nnf_memos",
+]
+
+# Memoization by interned node: the NNF transformations are pure functions,
+# and with hash-consing the same assumption formula is shared by every
+# sequent that carries it, so each distinct subformula is normalised once
+# per process instead of once per prover call.
+_MEMO_LIMIT = 1 << 17
+_SUGAR_MEMO: dict[Term, Term] = {}
+_NNF_MEMO: dict[tuple[Term, bool], Term] = {}
+
+
+def clear_nnf_memos() -> None:
+    """Drop the memo tables (used by benchmarks for cold-cache runs)."""
+    _SUGAR_MEMO.clear()
+    _NNF_MEMO.clear()
 
 
 def eliminate_sugar(term: Term) -> Term:
     """Rewrite ``implies``, ``iff`` and boolean ``ite`` into and/or/not."""
-    if isinstance(term, Binder):
-        return term.rebuild((eliminate_sugar(term.body),))
-    if not isinstance(term, App):
+    if not isinstance(term, (App, Binder)):
         return term
-    args = tuple(eliminate_sugar(a) for a in term.args)
-    if term.op == "implies":
-        return b.Or(b.Not(args[0]), args[1])
-    if term.op == "iff":
-        return b.Or(b.And(args[0], args[1]), b.And(b.Not(args[0]), b.Not(args[1])))
-    if term.op == "ite" and term.sort == BOOL:
-        return b.Or(b.And(args[0], args[1]), b.And(b.Not(args[0]), args[2]))
-    return term.rebuild(args)
+    cached = _SUGAR_MEMO.get(term)
+    if cached is not None:
+        return cached
+    if isinstance(term, Binder):
+        result: Term = term.rebuild((eliminate_sugar(term.body),))
+    else:
+        args = tuple(eliminate_sugar(a) for a in term.args)
+        if term.op == "implies":
+            result = b.Or(b.Not(args[0]), args[1])
+        elif term.op == "iff":
+            result = b.Or(
+                b.And(args[0], args[1]), b.And(b.Not(args[0]), b.Not(args[1]))
+            )
+        elif term.op == "ite" and term.sort == BOOL:
+            result = b.Or(b.And(args[0], args[1]), b.And(b.Not(args[0]), args[2]))
+        else:
+            result = term.rebuild(args)
+    if len(_SUGAR_MEMO) > _MEMO_LIMIT:
+        _SUGAR_MEMO.clear()
+    _SUGAR_MEMO[term] = result
+    return result
 
 
 def to_nnf(term: Term) -> Term:
@@ -57,24 +89,36 @@ def to_nnf(term: Term) -> Term:
 def _nnf(term: Term, positive: bool) -> Term:
     if isinstance(term, BoolLit):
         return term if positive else b.Bool(not term.value)
+    if not isinstance(term, (App, Binder)):
+        return term if positive else b.Not(term)
+    key = (term, positive)
+    cached = _NNF_MEMO.get(key)
+    if cached is not None:
+        return cached
     if isinstance(term, App):
         op = term.op
         if op == "not":
-            return _nnf(term.args[0], not positive)
-        if op == "and":
+            result = _nnf(term.args[0], not positive)
+        elif op == "and":
             parts = [_nnf(a, positive) for a in term.args]
-            return b.And(*parts) if positive else b.Or(*parts)
-        if op == "or":
+            result = b.And(*parts) if positive else b.Or(*parts)
+        elif op == "or":
             parts = [_nnf(a, positive) for a in term.args]
-            return b.Or(*parts) if positive else b.And(*parts)
-        return term if positive else b.Not(term)
-    if isinstance(term, Binder) and term.kind in (FORALL, EXISTS):
+            result = b.Or(*parts) if positive else b.And(*parts)
+        else:
+            result = term if positive else b.Not(term)
+    elif term.kind in (FORALL, EXISTS):
         body = _nnf(term.body, positive)
         kind = term.kind
         if not positive:
             kind = EXISTS if kind == FORALL else FORALL
-        return Binder(kind, term.params, body)
-    return term if positive else b.Not(term)
+        result = Binder(kind, term.params, body)
+    else:
+        result = term if positive else b.Not(term)
+    if len(_NNF_MEMO) > _MEMO_LIMIT:
+        _NNF_MEMO.clear()
+    _NNF_MEMO[key] = result
+    return result
 
 
 def skolemize(term: Term, fresh: FreshNameGenerator | None = None) -> Term:

@@ -81,9 +81,22 @@ _ASCII = _Style(unicode=False)
 _UNICODE = _Style(unicode=True)
 
 
+# The provers use ``str(term)`` as a canonical key (EUF interning, clause
+# canonicalisation), so the ASCII rendering of an interned node is memoized.
+_ASCII_MEMO_LIMIT = 1 << 16
+_ASCII_MEMO: dict[Term, str] = {}
+
+
 def to_ascii(term: Term) -> str:
     """Render ``term`` in the parseable ASCII notation."""
-    return _render(term, _ASCII, 0)
+    cached = _ASCII_MEMO.get(term)
+    if cached is not None:
+        return cached
+    rendered = _render(term, _ASCII, 0)
+    if len(_ASCII_MEMO) > _ASCII_MEMO_LIMIT:
+        _ASCII_MEMO.clear()
+    _ASCII_MEMO[term] = rendered
+    return rendered
 
 
 def to_unicode(term: Term) -> str:

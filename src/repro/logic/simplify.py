@@ -44,19 +44,52 @@ from .terms import (
     free_var_names,
 )
 
-__all__ = ["simplify", "simplify_step", "eliminate_comprehensions"]
+__all__ = [
+    "simplify",
+    "simplify_step",
+    "eliminate_comprehensions",
+    "clear_simplify_memos",
+]
 
 _MAX_PASSES = 12
+
+# Memo tables keyed by (interned) term.  Simplification is a pure function
+# of the node, and hash-consing makes structurally equal formulas the same
+# object, so results are shared across sequents, methods and classes.  The
+# tables are cleared wholesale when they grow past the limit, which bounds
+# memory without the bookkeeping of an LRU.
+_MEMO_LIMIT = 1 << 17
+_FIXPOINT_MEMO: dict[Term, Term] = {}
+_REWRITE_MEMO: dict[Term, Term] = {}
+
+
+def clear_simplify_memos() -> None:
+    """Drop the memo tables (used by benchmarks for cold-cache runs)."""
+    _FIXPOINT_MEMO.clear()
+    _REWRITE_MEMO.clear()
 
 
 def simplify(term: Term) -> Term:
     """Apply the simplification rules bottom-up until a fixpoint."""
+    cached = _FIXPOINT_MEMO.get(term)
+    if cached is not None:
+        return cached
     current = term
+    converged = False
     for _ in range(_MAX_PASSES):
         simplified = _rewrite(current)
-        if simplified == current:
-            return simplified
+        if simplified is current or simplified == current:
+            converged = True
+            break
         current = simplified
+    if len(_FIXPOINT_MEMO) > _MEMO_LIMIT:
+        _FIXPOINT_MEMO.clear()
+    _FIXPOINT_MEMO[term] = current
+    if converged and current is not term:
+        # Only a true fixpoint may be recorded as its own result; when the
+        # pass budget ran out, a later simplify() of ``current`` must still
+        # be allowed to make progress (matching the pre-memo behavior).
+        _FIXPOINT_MEMO[current] = current
     return current
 
 
@@ -73,13 +106,26 @@ def simplify_step(term: Term) -> Term:
 
 def _rewrite(term: Term) -> Term:
     if isinstance(term, Binder):
+        cached = _REWRITE_MEMO.get(term)
+        if cached is not None:
+            return cached
         body = _rewrite(term.body)
         rebuilt = term.rebuild((body,))
-        return _rewrite_binder(rebuilt) if isinstance(rebuilt, Binder) else rebuilt
-    if not isinstance(term, App):
+        result = (
+            _rewrite_binder(rebuilt) if isinstance(rebuilt, Binder) else rebuilt
+        )
+    elif isinstance(term, App):
+        cached = _REWRITE_MEMO.get(term)
+        if cached is not None:
+            return cached
+        args = tuple(_rewrite(a) for a in term.args)
+        result = _rewrite_app(term, args)
+    else:
         return term
-    args = tuple(_rewrite(a) for a in term.args)
-    return _rewrite_app(term, args)
+    if len(_REWRITE_MEMO) > _MEMO_LIMIT:
+        _REWRITE_MEMO.clear()
+    _REWRITE_MEMO[term] = result
+    return result
 
 
 def _rewrite_binder(term: Binder) -> Term:

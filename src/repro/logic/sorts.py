@@ -28,14 +28,36 @@ class SortError(TypeError):
     """Raised when a term is built or checked with incompatible sorts."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Sort:
-    """Base class for all sorts."""
+    """Base class for all sorts.
+
+    The ``name`` string canonically encodes the whole sort structure (the
+    composite constructors derive it deterministically from their
+    components), so equality is type + name comparison and the hash is
+    computed once and cached -- sorts are compared and hashed constantly by
+    the hash-consed term kernel.
+    """
 
     name: str
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.name
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((type(self).__name__, self.name))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     @property
     def is_atomic(self) -> bool:
@@ -47,7 +69,7 @@ BOOL = Sort("bool")
 OBJ = Sort("obj")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class SetSort(Sort):
     """Sort of finite sets over an element sort."""
 
@@ -62,7 +84,7 @@ class SetSort(Sort):
         return False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class MapSort(Sort):
     """Sort of total maps ``dom => ran`` (fields, arrays, ghost maps)."""
 
@@ -79,7 +101,7 @@ class MapSort(Sort):
         return False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class TupleSort(Sort):
     """Sort of n-ary tuples."""
 
@@ -98,7 +120,7 @@ class TupleSort(Sort):
         return len(self.items)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class FunSort(Sort):
     """Sort of an uninterpreted function symbol ``args -> ran``."""
 

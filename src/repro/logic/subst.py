@@ -32,8 +32,20 @@ class FreshNameGenerator:
         self._counters: dict[str, count] = {}
 
     def fresh(self, base: str) -> str:
-        """Return a fresh name derived from ``base``."""
+        """Return a fresh name derived from ``base``.
+
+        The requested ``base`` itself is always marked as used first: a
+        caller freshening away from ``x_1`` must never receive ``x_1`` back
+        from the counter (the numeric suffix is stripped to obtain the
+        counter stem, so the stem's counter could otherwise regenerate the
+        original name), and a base that strips to empty (e.g. ``"_1"``,
+        which falls back to the ``"v"`` stem) must not collide with an
+        explicitly reserved name.
+        """
+        original = base
         base = base.rstrip("0123456789_") or "v"
+        if original != base:
+            self._used.add(original)
         if base not in self._used:
             self._used.add(base)
             return base
@@ -64,10 +76,12 @@ def substitute(term: Term, mapping: Mapping[Var, Term]) -> Term:
                 f"{replacement.sort}"
             )
     relevant_names = frozenset(v.name for v in mapping)
+    if free_var_names(term).isdisjoint(relevant_names):
+        return term
     replacement_free = frozenset().union(
         *(free_var_names(t) for t in mapping.values())
     ) if mapping else frozenset()
-    return _subst(term, dict(mapping), relevant_names, replacement_free)
+    return _subst(term, dict(mapping), relevant_names, replacement_free, {})
 
 
 def _subst(
@@ -75,18 +89,32 @@ def _subst(
     mapping: dict[Var, Term],
     relevant_names: frozenset[str],
     replacement_free: frozenset[str],
+    memo: dict[Term, Term],
 ) -> Term:
+    """Substitution memoized by node identity.
+
+    Hash-consed terms are DAGs in practice (shared subterms are the same
+    object), so ``memo`` -- valid for one fixed ``mapping`` -- ensures every
+    distinct subterm is rewritten at most once.  Subterms without relevant
+    free variables are returned untouched, preserving sharing.
+    """
     if isinstance(term, Var):
         return mapping.get(term, term)
     if isinstance(term, (Const, IntLit, BoolLit)):
         return term
-    if not (free_var_names(term) & relevant_names):
+    if free_var_names(term).isdisjoint(relevant_names):
         return term
+    cached = memo.get(term)
+    if cached is not None:
+        return cached
     if isinstance(term, App):
         new_args = tuple(
-            _subst(a, mapping, relevant_names, replacement_free) for a in term.args
+            _subst(a, mapping, relevant_names, replacement_free, memo)
+            for a in term.args
         )
-        return term.rebuild(new_args)
+        result = term.rebuild(new_args)
+        memo[term] = result
+        return result
     if isinstance(term, Binder):
         bound_names = set(term.param_names)
         inner_mapping = {
@@ -118,11 +146,24 @@ def _subst(
                     new_params.append((name, sort))
             body = substitute(body, rename)
             params = tuple(new_params)
-        inner_relevant = frozenset(v.name for v in inner_mapping)
-        new_body = _subst(body, inner_mapping, inner_relevant, replacement_free)
+        if len(inner_mapping) == len(mapping) and body is term.body:
+            # No binder parameter shadows the mapping and no renaming
+            # happened: the recursion uses the same mapping, so the memo
+            # stays valid.
+            new_body = _subst(
+                body, mapping, relevant_names, replacement_free, memo
+            )
+        else:
+            inner_relevant = frozenset(v.name for v in inner_mapping)
+            new_body = _subst(
+                body, inner_mapping, inner_relevant, replacement_free, {}
+            )
         if new_body is term.body and params == term.params:
-            return term
-        return Binder(term.kind, params, new_body)
+            result = term
+        else:
+            result = Binder(term.kind, params, new_body)
+        memo[term] = result
+        return result
     raise TypeError(f"unknown term type {type(term)!r}")
 
 

@@ -1,5 +1,6 @@
 """The integrated reasoning portfolio: provers and the dispatcher."""
 
+from .cache import CachedVerdict, ProofCache, task_fingerprint, term_fingerprint
 from .dispatch import DispatchResult, PortfolioEntry, ProverPortfolio, default_portfolio
 from .fol import FolProver
 from .interface import Prover
@@ -10,11 +11,13 @@ from .smt import SmtProver
 
 __all__ = [
     "Budget",
+    "CachedVerdict",
     "DispatchResult",
     "FiniteModelFinder",
     "FolProver",
     "Outcome",
     "PortfolioEntry",
+    "ProofCache",
     "ProofTask",
     "Prover",
     "ProverPortfolio",
@@ -22,4 +25,6 @@ __all__ = [
     "SetCardinalityProver",
     "SmtProver",
     "default_portfolio",
+    "task_fingerprint",
+    "term_fingerprint",
 ]

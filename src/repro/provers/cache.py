@@ -1,0 +1,152 @@
+"""Sequent-level result caching for the prover portfolio.
+
+Verification-condition generation produces many structurally identical
+sequents: goal splitting duplicates hypothesis prefixes, loop encodings
+re-assert the same invariant conjuncts at every cut point, and the Table 2
+ablation verifies every method twice.  :class:`ProofCache` lets the
+dispatcher (:meth:`repro.provers.dispatch.ProverPortfolio.dispatch`) prove
+each distinct sequent once.
+
+Cache keys are *canonical fingerprints*: every formula is alpha-normalized
+(bound variables replaced by binding-depth indices), the assumption base is
+deduplicated and order-normalized, and trivially-true assumptions carry no
+weight.  Two sequents that differ only in assumption naming, assumption
+order or the spelling of bound variables therefore share one cache entry.
+
+A cache is attached to one portfolio (fixed prover set and per-prover
+timeouts), so a cached verdict -- including "no prover could do it" -- is
+exactly what re-running the portfolio would produce, modulo timing jitter
+on near-timeout sequents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic.terms import App, Binder, BoolLit, Const, IntLit, Term, Var
+from .result import ProofTask
+
+__all__ = ["CachedVerdict", "ProofCache", "task_fingerprint", "term_fingerprint"]
+
+
+# Bound variables are numbered by *relative* de Bruijn index (distance from
+# the binding site), so a subterm that references no enclosing bound
+# variable has a fingerprint independent of its context.  That makes the
+# memo sound: fingerprints of such context-free subterms are cached per
+# interned node.
+_FP_MEMO_LIMIT = 1 << 17
+_FP_MEMO: dict[Term, object] = {}
+
+
+def term_fingerprint(term: Term) -> object:
+    """A hashable alpha-invariant fingerprint of ``term``.
+
+    ``alpha_equal(s, t)`` implies ``term_fingerprint(s) ==
+    term_fingerprint(t)`` and, for well-sorted distinct terms, fingerprints
+    differ whenever the terms are not alpha-equivalent; free variables,
+    constants, operators and sorts are preserved exactly.
+    """
+    return _fingerprint(term, {}, 0)
+
+
+def _fingerprint(term: Term, env: dict[str, int], depth: int) -> object:
+    if env and term._free_names.isdisjoint(env):
+        # No enclosing binder is referenced: the relative numbering makes
+        # the fingerprint context-independent, so restart from depth 0 and
+        # use the memo.
+        env = {}
+        depth = 0
+    if not env:
+        cached = _FP_MEMO.get(term)
+        if cached is not None:
+            return cached
+        result = _fingerprint_uncached(term, env, 0)
+        if len(_FP_MEMO) > _FP_MEMO_LIMIT:
+            _FP_MEMO.clear()
+        _FP_MEMO[term] = result
+        return result
+    return _fingerprint_uncached(term, env, depth)
+
+
+def _fingerprint_uncached(term: Term, env: dict[str, int], depth: int) -> object:
+    if isinstance(term, Var):
+        level = env.get(term.name)
+        if level is None:
+            return ("v", term.name, term.sort.name)
+        return ("b", depth - level, term.sort.name)
+    if isinstance(term, Const):
+        return ("c", term.name, term.sort.name)
+    if isinstance(term, IntLit):
+        return ("i", term.value)
+    if isinstance(term, BoolLit):
+        return ("t", term.value)
+    if isinstance(term, App):
+        return (
+            "a",
+            term.op,
+            term.sort.name,
+            tuple(_fingerprint(arg, env, depth) for arg in term.args),
+        )
+    if isinstance(term, Binder):
+        inner = dict(env)
+        for offset, (name, _) in enumerate(term.params):
+            inner[name] = depth + offset
+        return (
+            "B",
+            term.kind,
+            tuple(sort.name for _, sort in term.params),
+            _fingerprint(term.body, inner, depth + len(term.params)),
+        )
+    raise TypeError(f"unknown term type {type(term)!r}")
+
+
+def task_fingerprint(task: ProofTask) -> tuple:
+    """The cache key of a proof task.
+
+    Assumption *names* are irrelevant to provability, so only the
+    alpha-normalized formulas matter; they are deduplicated and sorted so
+    that assumption order does not split cache entries.
+    """
+    hypotheses = {
+        _fingerprint(formula, {}, 0) for _, formula in task.assumptions
+    }
+    return (tuple(sorted(hypotheses, key=repr)), _fingerprint(task.goal, {}, 0))
+
+
+@dataclass(frozen=True)
+class CachedVerdict:
+    """The dispatcher verdict remembered for one canonical sequent."""
+
+    proved: bool
+    refuted: bool
+    winning_prover: str
+
+
+class ProofCache:
+    """Maps canonical sequent fingerprints to dispatcher verdicts.
+
+    Hit/miss accounting lives in
+    :class:`~repro.provers.result.PortfolioStatistics` (maintained by the
+    dispatcher), not here, so there is exactly one set of counters.
+    """
+
+    def __init__(self, max_entries: int = 1 << 16) -> None:
+        self.max_entries = max_entries
+        self._entries: dict[tuple, CachedVerdict] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(self, task: ProofTask) -> tuple:
+        return task_fingerprint(task)
+
+    def lookup(self, key: tuple) -> CachedVerdict | None:
+        return self._entries.get(key)
+
+    def store(self, key: tuple, verdict: CachedVerdict) -> None:
+        if len(self._entries) >= self.max_entries:
+            self._entries.clear()
+        self._entries[key] = verdict
+
+    def clear(self) -> None:
+        self._entries.clear()

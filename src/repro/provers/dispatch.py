@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .cache import CachedVerdict, ProofCache
 from .fol import FolProver
 from .interface import Prover
 from .model_finder import FiniteModelFinder
@@ -45,6 +46,7 @@ class DispatchResult:
     refuted: bool = False
     winning_prover: str = ""
     attempts: list[ProverResult] = field(default_factory=list)
+    cached: bool = False
 
     @property
     def elapsed(self) -> float:
@@ -61,11 +63,22 @@ class PortfolioEntry:
 
 
 class ProverPortfolio:
-    """Ordered portfolio of provers with per-prover timeouts."""
+    """Ordered portfolio of provers with per-prover timeouts.
 
-    def __init__(self, entries: list[PortfolioEntry]) -> None:
+    When ``proof_cache`` is set, :meth:`dispatch` consults it before running
+    any prover and records every verdict afterwards.  A cache is only valid
+    for one prover line-up with fixed timeouts, so the :meth:`only` /
+    :meth:`without` / :meth:`scaled` copies never share the parent's cache.
+    """
+
+    def __init__(
+        self,
+        entries: list[PortfolioEntry],
+        proof_cache: ProofCache | None = None,
+    ) -> None:
         self.entries = entries
         self.statistics = PortfolioStatistics()
+        self.proof_cache = proof_cache
 
     # -- configuration ---------------------------------------------------------
 
@@ -76,7 +89,9 @@ class ProverPortfolio:
             for e in self.entries
             if e.prover.name in names
         ]
-        return ProverPortfolio(kept)
+        return ProverPortfolio(
+            kept, ProofCache() if self.proof_cache is not None else None
+        )
 
     def without(self, *names: str) -> "ProverPortfolio":
         """A copy of the portfolio with the named provers removed."""
@@ -85,7 +100,9 @@ class ProverPortfolio:
             for e in self.entries
             if e.prover.name not in names
         ]
-        return ProverPortfolio(kept)
+        return ProverPortfolio(
+            kept, ProofCache() if self.proof_cache is not None else None
+        )
 
     def scaled(self, factor: float) -> "ProverPortfolio":
         """A copy with all per-prover timeouts scaled by ``factor``."""
@@ -93,7 +110,8 @@ class ProverPortfolio:
             [
                 PortfolioEntry(e.prover, e.timeout * factor, e.enabled)
                 for e in self.entries
-            ]
+            ],
+            ProofCache() if self.proof_cache is not None else None,
         )
 
     @property
@@ -103,9 +121,33 @@ class ProverPortfolio:
     # -- dispatching -------------------------------------------------------------
 
     def dispatch(self, task: ProofTask) -> DispatchResult:
-        """Offer ``task`` to the provers in order until one proves it."""
-        result = DispatchResult(task=task, proved=False)
+        """Offer ``task`` to the provers in order until one proves it.
+
+        With a proof cache attached, a sequent whose canonical fingerprint
+        has been dispatched before is answered from the cache without
+        consulting any prover.
+        """
         self.statistics.sequents_attempted += 1
+        cache = self.proof_cache
+        key: tuple | None = None
+        if cache is not None:
+            key = cache.key(task)
+            verdict = cache.lookup(key)
+            if verdict is None:
+                self.statistics.cache_misses += 1
+            else:
+                self.statistics.cache_hits += 1
+            if verdict is not None:
+                if verdict.proved:
+                    self.statistics.sequents_proved += 1
+                return DispatchResult(
+                    task=task,
+                    proved=verdict.proved,
+                    refuted=verdict.refuted,
+                    winning_prover=verdict.winning_prover,
+                    cached=True,
+                )
+        result = DispatchResult(task=task, proved=False)
         for entry in self.entries:
             if not entry.enabled:
                 continue
@@ -116,11 +158,16 @@ class ProverPortfolio:
                 result.proved = True
                 result.winning_prover = entry.prover.name
                 self.statistics.sequents_proved += 1
-                return result
+                break
             if prover_result.outcome is Outcome.REFUTED:
                 result.refuted = True
                 result.winning_prover = entry.prover.name
-                return result
+                break
+        if cache is not None and key is not None:
+            cache.store(
+                key,
+                CachedVerdict(result.proved, result.refuted, result.winning_prover),
+            )
         return result
 
 
@@ -129,12 +176,14 @@ def default_portfolio(
     sets_timeout: float = 1.5,
     fol_timeout: float = 2.0,
     model_finder_timeout: float = 0.0,
+    with_cache: bool = True,
 ) -> ProverPortfolio:
     """The standard portfolio used by the verification engine.
 
     The model finder is disabled by default (timeout 0) because refutation of
     invalid sequents is a diagnostic aid, not part of verification; pass a
-    positive timeout to enable it.
+    positive timeout to enable it.  ``with_cache`` attaches a sequent-level
+    :class:`ProofCache` (pass False for cold-cache measurements).
     """
     entries = [
         PortfolioEntry(SmtProver(), smt_timeout),
@@ -143,4 +192,4 @@ def default_portfolio(
     ]
     if model_finder_timeout > 0:
         entries.append(PortfolioEntry(FiniteModelFinder(), model_finder_timeout))
-    return ProverPortfolio(entries)
+    return ProverPortfolio(entries, ProofCache() if with_cache else None)

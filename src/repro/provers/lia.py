@@ -23,6 +23,7 @@ from fractions import Fraction
 
 from ..logic.sorts import INT
 from ..logic.terms import App, IntLit, Term
+from .result import Budget
 
 __all__ = ["LinearExpr", "linearize", "LinearSolver", "LinearConstraint"]
 
@@ -130,14 +131,26 @@ class LinearConstraint:
 
 
 class LinearSolver:
-    """Conjunction of linear constraints with Fourier-Motzkin feasibility."""
+    """Conjunction of linear constraints with Fourier-Motzkin feasibility.
 
-    def __init__(self, max_constraints: int = 4000) -> None:
+    ``deadline`` is an optional :class:`Budget` polled during elimination:
+    Fourier-Motzkin can square the row count per round, and the constraint
+    cap alone does not bound the *time* a round spends combining very wide
+    rows.  When the deadline expires mid-elimination the solver raises
+    :class:`~repro.provers.result.BudgetExpired`, which the prover wrapper
+    converts into a TIMEOUT outcome -- so provers actually honour their
+    per-sequent timeout instead of overshooting it by orders of magnitude.
+    """
+
+    def __init__(
+        self, max_constraints: int = 4000, deadline: Budget | None = None
+    ) -> None:
         self.constraints: list[LinearConstraint] = []
         self.max_constraints = max_constraints
+        self.deadline = deadline
 
     def copy(self) -> "LinearSolver":
-        clone = LinearSolver(self.max_constraints)
+        clone = LinearSolver(self.max_constraints, self.deadline)
         clone.constraints = list(self.constraints)
         return clone
 
@@ -218,6 +231,8 @@ class LinearSolver:
         rows = self._normalised()
         # Iteratively eliminate atoms.
         while True:
+            if self.deadline is not None:
+                self.deadline.check()
             # Constant rows decide immediately.
             pending: list[LinearExpr] = []
             for row in rows:
@@ -247,8 +262,7 @@ class LinearSolver:
                 occurrences[atom] = (pos, neg)
         return min(occurrences, key=lambda a: occurrences[a][0] * occurrences[a][1])
 
-    @staticmethod
-    def _eliminate(rows: list[LinearExpr], atom: Term) -> list[LinearExpr]:
+    def _eliminate(self, rows: list[LinearExpr], atom: Term) -> list[LinearExpr]:
         upper: list[LinearExpr] = []  # rows where coeff > 0  (atom <= ...)
         lower: list[LinearExpr] = []  # rows where coeff < 0  (atom >= ...)
         rest: list[LinearExpr] = []
@@ -260,8 +274,12 @@ class LinearSolver:
                 lower.append(row.scale(Fraction(1) / -coeff))
             else:
                 rest.append(row)
+        ticks = 0
         for up in upper:
             for low in lower:
+                ticks += 1
+                if self.deadline is not None and not ticks & 0xFF:
+                    self.deadline.check()
                 combined = up.add(low)
                 # ``atom`` cancels by construction.
                 coeffs = {a: c for a, c in combined.coeffs if a != atom}

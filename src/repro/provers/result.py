@@ -107,11 +107,27 @@ class ProverStatistics:
 
 @dataclass
 class PortfolioStatistics:
-    """Statistics for an entire portfolio run."""
+    """Statistics for an entire portfolio run.
+
+    ``cache_hits`` / ``cache_misses`` count proof-cache consultations by the
+    dispatcher (zero when no cache is attached); a hit answers the sequent
+    without running any prover.
+    """
 
     per_prover: dict[str, ProverStatistics] = field(default_factory=dict)
     sequents_attempted: int = 0
     sequents_proved: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_lookups
+        return self.cache_hits / lookups if lookups else 0.0
 
     def record(self, prover: str, result: ProverResult) -> None:
         stats = self.per_prover.setdefault(prover, ProverStatistics())
@@ -120,6 +136,8 @@ class PortfolioStatistics:
     def merge(self, other: "PortfolioStatistics") -> None:
         self.sequents_attempted += other.sequents_attempted
         self.sequents_proved += other.sequents_proved
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
         for name, stats in other.per_prover.items():
             mine = self.per_prover.setdefault(name, ProverStatistics())
             mine.attempts += stats.attempts

@@ -38,16 +38,26 @@ class SatSolver:
     def __init__(self) -> None:
         self.clauses: list[list[int]] = []
         self.num_vars = 0
+        self._seen_clauses: set[tuple[int, ...]] = set()
 
     def add_clause(self, literals: list[int] | tuple[int, ...]) -> None:
-        """Add a clause (a disjunction of non-zero integer literals)."""
+        """Add a clause (a disjunction of non-zero integer literals).
+
+        Duplicate clauses (same sorted literal set) are ignored, so repeated
+        ``add_clauses`` calls with overlapping translations don't bloat the
+        watch lists.
+        """
         clause = sorted(set(literals), key=abs)
         if any(-lit in clause for lit in clause):
             return  # tautology
+        key = tuple(clause)
+        if key in self._seen_clauses:
+            return
         for lit in clause:
             if lit == 0:
                 raise ValueError("0 is not a valid literal")
             self.num_vars = max(self.num_vars, abs(lit))
+        self._seen_clauses.add(key)
         self.clauses.append(list(clause))
 
     def add_clauses(self, clauses) -> None:

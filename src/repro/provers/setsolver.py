@@ -135,7 +135,7 @@ class SetCardinalityProver(Prover):
                 reason=f"{universe.total_dims} dimensions (limit {_MAX_DIMENSIONS})",
             )
         budget.check()
-        solver = LinearSolver(max_constraints=20000)
+        solver = LinearSolver(max_constraints=20000, deadline=budget)
         regions = list(itertools.product([0, 1], repeat=universe.total_dims))
         region_vars = {
             region: Var("region_" + "".join(map(str, region)), INT)

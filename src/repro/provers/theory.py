@@ -66,7 +66,7 @@ class TheoryChecker:
         if budget is not None:
             budget.check()
         closure = CongruenceClosure()
-        arithmetic = LinearSolver()
+        arithmetic = LinearSolver(deadline=budget)
         closure.assert_distinct(_TRUE, _FALSE)
         int_terms: set[Term] = set()
         shared_atoms: set[Term] = set()

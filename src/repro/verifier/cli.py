@@ -17,6 +17,7 @@ import sys
 from ..provers.dispatch import default_portfolio
 from .engine import VerificationEngine
 from .report import (
+    format_performance,
     format_table1,
     format_table2,
     table1_rows,
@@ -38,6 +39,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="scale factor applied to every per-prover timeout",
     )
+    parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="print term-interning and proof-cache counters after the run",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the sequent-level proof cache",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list benchmark data structures")
     verify = subparsers.add_parser("verify", help="verify one data structure")
@@ -56,8 +67,9 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     from ..suite.catalog import all_structures, structure_by_name
 
-    portfolio = default_portfolio().scaled(args.timeout_scale)
-    engine = VerificationEngine(portfolio)
+    portfolio = default_portfolio(with_cache=not args.no_cache)
+    portfolio = portfolio.scaled(args.timeout_scale)
+    engine = VerificationEngine(portfolio, use_proof_cache=not args.no_cache)
 
     if args.command == "list":
         for cls in all_structures():
@@ -81,16 +93,24 @@ def main(argv: list[str] | None = None) -> int:
             f"{report.methods_verified}/{report.methods_total} methods, "
             f"{report.elapsed:.1f}s"
         )
+        if args.perf:
+            print(format_performance(portfolio=engine.portfolio))
         return 0 if report.verified else 1
 
     if args.command == "table1":
         rows = table1_rows(all_structures(), engine)
         print(format_table1(rows))
+        if args.perf:
+            print()
+            print(format_performance(portfolio=engine.portfolio))
         return 0
 
     if args.command == "table2":
         rows = [row for row, _, _ in table2_rows(all_structures(), engine)]
         print(format_table2(rows))
+        if args.perf:
+            print()
+            print(format_performance(portfolio=engine.portfolio))
         return 0
 
     return 2

@@ -23,6 +23,7 @@ from ..frontend.ast import ClassModel, Method
 from ..frontend.lower import lower_method
 from ..gcl.desugar import Desugarer
 from ..logic.terms import free_var_names
+from ..provers.cache import ProofCache
 from ..provers.dispatch import DispatchResult, ProverPortfolio, default_portfolio
 from ..vcgen.assumptions import relevance_filter
 from ..vcgen.sequent import Sequent
@@ -131,8 +132,18 @@ class VerificationEngine:
         apply_from_clauses: bool = True,
         use_relevance_filter: bool = True,
         runtime_checks: bool = True,
+        use_proof_cache: bool = True,
     ) -> None:
-        self.portfolio = portfolio or default_portfolio()
+        if portfolio is None:
+            portfolio = default_portfolio(with_cache=use_proof_cache)
+        elif use_proof_cache and portfolio.proof_cache is None:
+            # Wrap instead of mutating: the caller's portfolio object (and
+            # its statistics) stays untouched.
+            portfolio = ProverPortfolio(portfolio.entries, ProofCache())
+        elif not use_proof_cache and portfolio.proof_cache is not None:
+            portfolio = ProverPortfolio(portfolio.entries, None)
+        self.portfolio = portfolio
+        self.use_proof_cache = use_proof_cache
         self.apply_from_clauses = apply_from_clauses
         self.use_relevance_filter = use_relevance_filter
         self.runtime_checks = runtime_checks
@@ -174,6 +185,12 @@ class VerificationEngine:
 
         With ``strip_proofs`` the integrated proof language constructs are
         removed first (the Table 2 ablation).
+
+        The portfolio's sequent-level proof cache stays warm across the
+        whole run: the near-duplicate split sequents of one method, the
+        shared invariant obligations of sibling methods, and (for Table 2)
+        the unchanged sequents of the stripped/annotated pair are each
+        dispatched to the provers only once.
         """
         target = strip_proofs_from_class(cls) if strip_proofs else cls
         report = ClassReport(cls.name)

@@ -13,7 +13,12 @@ from dataclasses import dataclass, field
 
 from ..frontend.ast import ClassModel
 from .engine import ClassReport, VerificationEngine
-from .stats import TABLE1_CONSTRUCT_ORDER, class_statistics
+from .stats import (
+    TABLE1_CONSTRUCT_ORDER,
+    PerformanceCounters,
+    class_statistics,
+    performance_counters,
+)
 
 __all__ = [
     "Table1Row",
@@ -23,6 +28,7 @@ __all__ = [
     "format_table1",
     "format_table2",
     "format_table",
+    "format_performance",
 ]
 
 
@@ -196,6 +202,30 @@ def format_table(header: list[str], rows: list[list[str]]) -> str:
 def format_table1(rows: list[Table1Row]) -> str:
     """Render Table 1."""
     return format_table(TABLE1_HEADER, [row.cells() for row in rows])
+
+
+def format_performance(
+    counters: PerformanceCounters | None = None, portfolio=None
+) -> str:
+    """Render the cache / allocation counters of a run as aligned text.
+
+    Pass either precollected :class:`PerformanceCounters` or the portfolio
+    to collect them from.
+    """
+    if counters is None:
+        counters = performance_counters(portfolio)
+    lines = [
+        "Performance counters",
+        f"  terms allocated     {counters.terms_allocated}",
+        f"  terms interned      {counters.terms_interned} "
+        f"(hit rate {counters.intern_hit_rate:.1%})",
+        f"  proof cache hits    {counters.proof_cache_hits}",
+        f"  proof cache misses  {counters.proof_cache_misses} "
+        f"(hit rate {counters.proof_cache_hit_rate:.1%})",
+        f"  sequents attempted  {counters.sequents_attempted}",
+        f"  sequents proved     {counters.sequents_proved}",
+    ]
+    return "\n".join(lines)
 
 
 def format_table2(rows: list[Table2Row]) -> str:

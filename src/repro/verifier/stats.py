@@ -21,9 +21,16 @@ from ..frontend.ast import (
     count_proof_constructs,
     count_statements,
 )
+from ..logic.terms import term_stats
 from ..proofs.constructs import PROOF_CONSTRUCT_NAMES
 
-__all__ = ["ClassStatistics", "class_statistics", "TABLE1_CONSTRUCT_ORDER"]
+__all__ = [
+    "ClassStatistics",
+    "class_statistics",
+    "TABLE1_CONSTRUCT_ORDER",
+    "PerformanceCounters",
+    "performance_counters",
+]
 
 #: Proof construct columns in the order Table 1 lists them.
 TABLE1_CONSTRUCT_ORDER = (
@@ -73,6 +80,58 @@ def _count_loops(statements: tuple[Stmt, ...]) -> int:
             count += 1
         count += _count_loops(statement.substatements())
     return count
+
+
+@dataclass
+class PerformanceCounters:
+    """Cache and allocation counters for one verification run.
+
+    * ``terms_allocated`` / ``terms_interned``: fresh term-kernel nodes
+      versus hash-consing pool hits (a pool hit means the structurally equal
+      node already existed and was shared instead of rebuilt);
+    * ``proof_cache_hits`` / ``proof_cache_misses``: sequents answered from
+      the portfolio's sequent-level result cache versus dispatched to the
+      provers;
+    * ``sequents_attempted`` / ``sequents_proved``: dispatcher totals.
+    """
+
+    terms_allocated: int = 0
+    terms_interned: int = 0
+    proof_cache_hits: int = 0
+    proof_cache_misses: int = 0
+    sequents_attempted: int = 0
+    sequents_proved: int = 0
+
+    @property
+    def intern_hit_rate(self) -> float:
+        total = self.terms_allocated + self.terms_interned
+        return self.terms_interned / total if total else 0.0
+
+    @property
+    def proof_cache_hit_rate(self) -> float:
+        total = self.proof_cache_hits + self.proof_cache_misses
+        return self.proof_cache_hits / total if total else 0.0
+
+
+def performance_counters(portfolio=None) -> PerformanceCounters:
+    """Collect the performance counters of a run.
+
+    ``portfolio`` is a :class:`~repro.provers.dispatch.ProverPortfolio` (or
+    anything with a ``statistics`` attribute); term-kernel counters are
+    process-global and always included.
+    """
+    stats = term_stats()
+    counters = PerformanceCounters(
+        terms_allocated=stats.allocated,
+        terms_interned=stats.interned_hits,
+    )
+    if portfolio is not None:
+        portfolio_stats = portfolio.statistics
+        counters.proof_cache_hits = portfolio_stats.cache_hits
+        counters.proof_cache_misses = portfolio_stats.cache_misses
+        counters.sequents_attempted = portfolio_stats.sequents_attempted
+        counters.sequents_proved = portfolio_stats.sequents_proved
+    return counters
 
 
 def class_statistics(cls: ClassModel) -> ClassStatistics:

@@ -35,6 +35,16 @@ class TestSatSolver:
         solver.add_clauses([[1], [-1]])
         assert not solver.solve().satisfiable
 
+    def test_duplicate_clauses_deduplicated(self):
+        solver = SatSolver()
+        solver.add_clauses([[1, 2], [2, 1], [1, 2, 2]])
+        assert len(solver.clauses) == 1
+        # Repeated add_clauses calls (e.g. re-asserting a translation) must
+        # not bloat the clause database either.
+        solver.add_clauses([[1, 2], [-1, 2]])
+        assert len(solver.clauses) == 2
+        assert solver.solve().satisfiable
+
     def test_pigeonhole_unsat(self):
         # 3 pigeons, 2 holes: variable p(i,h) = 2*i + h + 1.
         solver = SatSolver()

@@ -1,0 +1,44 @@
+"""Tier-1-safe smoke test for the kernel microbenchmark workloads.
+
+Runs the exact workload functions of ``benchmarks/bench_kernel.py`` at tiny
+sizes so that a refactor breaking the benchmark harness (or a pathological
+slowdown turning the microbenchmarks into hangs) is caught by the fast test
+suite, not only by the benchmark trajectory.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+if str(_BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(_BENCHMARKS))
+
+import bench_kernel  # noqa: E402
+
+
+def test_interning_workload_smoke():
+    assert bench_kernel.workload_interning(depth=8, repeats=2) > 0
+
+
+def test_substitute_workload_smoke():
+    result = bench_kernel.workload_substitute(depth=8)
+    assert result.is_formula
+    assert "z" not in {v for v in result._free_names}
+
+
+def test_simplify_workload_smoke():
+    assert bench_kernel.workload_simplify(depth=8).is_formula
+
+
+def test_wlp_workload_smoke():
+    # Depth 12 would be 2^12 naive wlp branches; the memoized pass must
+    # return quickly because both choice arms share the same subcommand.
+    assert bench_kernel.workload_wlp(depth=12).is_formula
+
+
+def test_deep_formula_is_shared():
+    first = bench_kernel.build_deep_formula(6)
+    second = bench_kernel.build_deep_formula(6)
+    assert first is second
