@@ -12,15 +12,41 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import make_engine
+from conftest import TIMEOUT_SCALE, make_engine
 from repro.logic.terms import term_stats
+from repro.provers.dispatch import default_portfolio
 from repro.suite import all_structures
 from repro.provers.result import PortfolioStatistics
+from repro.verifier.engine import VerificationEngine
 from repro.verifier.report import Table1Row, format_performance, format_table1, table1_rows
 from repro.verifier.stats import PerformanceCounters, class_statistics, performance_counters
 
 _ROWS: list[Table1Row] = []
 _PORTFOLIO_TOTALS = PortfolioStatistics()
+
+
+def run_suite(
+    jobs: int = 1,
+    structures=None,
+    cache_dir=None,
+    persist: bool = True,
+    use_proof_cache: bool = True,
+):
+    """Verify a list of structures on a fresh benchmark-scaled engine.
+
+    Shared by the ``--jobs N`` comparison benchmark below and the tier-1
+    smoke tests (``tests/test_bench_smoke.py``); returns ``(engine,
+    reports)`` so callers can inspect statistics and parallel scheduling.
+    """
+    engine = VerificationEngine(
+        default_portfolio(with_cache=use_proof_cache).scaled(TIMEOUT_SCALE),
+        use_proof_cache=use_proof_cache,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        persist=persist,
+    )
+    reports = [engine.verify_class(cls) for cls in (structures or all_structures())]
+    return engine, reports
 
 
 @pytest.mark.parametrize(
@@ -68,6 +94,38 @@ def test_table1_row(structure, benchmark):
     assert report.sequents_proved * 2 >= report.sequents_total
 
 
+@pytest.mark.parametrize("jobs", [2])
+def test_table1_parallel_jobs(jobs, benchmark):
+    """Sequential vs ``--jobs N``: re-verify the full suite with sharded
+    dispatch and assert the verdicts match the sequential rows.
+
+    The per-structure benchmarks above are the sequential baseline; this
+    benchmark's wall time is the parallel counterpart (same workload, same
+    timeouts, fresh engine), so the trajectory records the speedup.
+    """
+
+    def verify_parallel():
+        return run_suite(jobs=jobs)
+
+    engine, reports = benchmark.pedantic(verify_parallel, rounds=1, iterations=1)
+    stats = engine.parallel_stats_total
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["dispatched"] = stats.dispatched
+    benchmark.extra_info["cache_hits_memory"] = stats.hits_memory
+    benchmark.extra_info["duplicates_folded"] = stats.duplicates_folded
+    benchmark.extra_info["workers"] = len(stats.workers)
+    by_name = {report.class_name: report for report in reports}
+    for row in _ROWS:
+        report = by_name[row.class_name]
+        assert report.verified == row.verified, row.class_name
+    if _ROWS:
+        # The sequential benchmarks above proved exactly this many sequents.
+        assert (
+            sum(report.sequents_proved for report in reports)
+            == _PORTFOLIO_TOTALS.sequents_proved
+        )
+
+
 def test_table1_print():
     """Print the assembled Table 1 (runs after the per-structure rows)."""
     if not _ROWS:
@@ -85,6 +143,7 @@ def test_table1_print():
                 terms_interned=terms.terms_interned,
                 proof_cache_hits=_PORTFOLIO_TOTALS.cache_hits,
                 proof_cache_misses=_PORTFOLIO_TOTALS.cache_misses,
+                proof_cache_hits_disk=_PORTFOLIO_TOTALS.cache_hits_disk,
                 sequents_attempted=_PORTFOLIO_TOTALS.sequents_attempted,
                 sequents_proved=_PORTFOLIO_TOTALS.sequents_proved,
             )

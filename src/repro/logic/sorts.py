@@ -59,6 +59,12 @@ class Sort:
             object.__setattr__(self, "_hash", value)
             return value
 
+    def __reduce__(self):
+        # Rebuild through the constructor on unpickle: the cached ``_hash``
+        # depends on the process's string hash seed, so it must never travel
+        # across process boundaries (worker pools, spawn start methods).
+        return (Sort, (self.name,))
+
     @property
     def is_atomic(self) -> bool:
         return True
@@ -79,6 +85,9 @@ class SetSort(Sort):
         object.__setattr__(self, "elem", elem)
         object.__setattr__(self, "name", f"({elem}) set")
 
+    def __reduce__(self):
+        return (SetSort, (self.elem,))
+
     @property
     def is_atomic(self) -> bool:
         return False
@@ -96,6 +105,9 @@ class MapSort(Sort):
         object.__setattr__(self, "ran", ran)
         object.__setattr__(self, "name", f"({dom} => {ran})")
 
+    def __reduce__(self):
+        return (MapSort, (self.dom, self.ran))
+
     @property
     def is_atomic(self) -> bool:
         return False
@@ -110,6 +122,9 @@ class TupleSort(Sort):
     def __init__(self, items: tuple[Sort, ...]) -> None:
         object.__setattr__(self, "items", tuple(items))
         object.__setattr__(self, "name", "(" + " * ".join(str(s) for s in items) + ")")
+
+    def __reduce__(self):
+        return (TupleSort, (self.items,))
 
     @property
     def is_atomic(self) -> bool:
@@ -132,6 +147,9 @@ class FunSort(Sort):
         object.__setattr__(self, "ran", ran)
         pretty = ", ".join(str(s) for s in args)
         object.__setattr__(self, "name", f"[{pretty}] -> {ran}")
+
+    def __reduce__(self):
+        return (FunSort, (self.args, self.ran))
 
     @property
     def is_atomic(self) -> bool:

@@ -21,12 +21,41 @@ on near-timeout sequents.
 
 from __future__ import annotations
 
+import contextlib
+import json
+import os
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
+
+try:  # POSIX-only; saves degrade to lock-free atomic replace elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from ..logic.terms import App, Binder, BoolLit, Const, IntLit, Term, Var
 from .result import ProofTask
 
-__all__ = ["CachedVerdict", "ProofCache", "task_fingerprint", "term_fingerprint"]
+__all__ = [
+    "CachedVerdict",
+    "ProofCache",
+    "PersistentCacheStore",
+    "task_fingerprint",
+    "term_fingerprint",
+    "fingerprint_to_json",
+    "fingerprint_from_json",
+    "FINGERPRINT_VERSION",
+    "CACHE_FORMAT_VERSION",
+]
+
+#: Bump whenever :func:`term_fingerprint` / :func:`task_fingerprint` change
+#: shape: persisted caches keyed under an older scheme are discarded (cold
+#: start) instead of being misinterpreted.
+FINGERPRINT_VERSION = 1
+
+#: Bump whenever the on-disk JSON layout of :class:`PersistentCacheStore`
+#: changes incompatibly.
+CACHE_FORMAT_VERSION = 1
 
 
 # Bound variables are numbered by *relative* de Bruijn index (distance from
@@ -115,11 +144,18 @@ def task_fingerprint(task: ProofTask) -> tuple:
 
 @dataclass(frozen=True)
 class CachedVerdict:
-    """The dispatcher verdict remembered for one canonical sequent."""
+    """The dispatcher verdict remembered for one canonical sequent.
+
+    ``origin`` records where the verdict came from: ``"memory"`` for
+    verdicts produced (and cached) during the current process, ``"disk"``
+    for verdicts loaded from a :class:`PersistentCacheStore`.  Reports use
+    it to split cache-hit provenance.
+    """
 
     proved: bool
     refuted: bool
     winning_prover: str
+    origin: str = "memory"
 
 
 class ProofCache:
@@ -133,6 +169,9 @@ class ProofCache:
     def __init__(self, max_entries: int = 1 << 16) -> None:
         self.max_entries = max_entries
         self._entries: dict[tuple, CachedVerdict] = {}
+        #: Bumped on every :meth:`store`; lets persistence layers skip
+        #: writing when nothing new was learned since the last flush.
+        self.mutations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -147,6 +186,223 @@ class ProofCache:
         if len(self._entries) >= self.max_entries:
             self._entries.clear()
         self._entries[key] = verdict
+        self.mutations += 1
+
+    def preload(self, entries: dict[tuple, CachedVerdict]) -> None:
+        """Seed the cache (e.g. from a persistent store) without eviction.
+
+        Existing entries win: verdicts produced during this process are
+        never overwritten by stale disk entries.  Seeding stops at half
+        ``max_entries`` -- :meth:`store` evicts by clearing the whole
+        cache when full, and an over-large persistent store must never
+        fill the cache so far that the first new verdict wipes every
+        preloaded one (the unseeded remainder is merely re-proved).
+        """
+        limit = self.max_entries // 2
+        for key, verdict in entries.items():
+            if len(self._entries) >= limit:
+                break
+            self._entries.setdefault(key, verdict)
+
+    def snapshot(self) -> dict[tuple, CachedVerdict]:
+        """A shallow copy of the cache contents (for persistence)."""
+        return dict(self._entries)
 
     def clear(self) -> None:
         self._entries.clear()
+
+
+# ---------------------------------------------------------------------------
+# Cross-run persistence
+# ---------------------------------------------------------------------------
+
+
+# Fingerprints are stored as nested JSON arrays: they contain only
+# ``str`` / ``int`` / ``bool`` leaves (no ids, no process-dependent
+# hashes), so the encoding is lossless and stable across processes and
+# hash seeds, and ``json.loads`` parses a whole store at C speed -- which
+# matters because a warm start parses everything before the first sequent
+# is answered.
+
+
+def fingerprint_to_json(value):
+    """Encode a fingerprint (nested tuples of str/int/bool) for the store."""
+    if isinstance(value, tuple):
+        return [fingerprint_to_json(item) for item in value]
+    if isinstance(value, (str, int, bool)):
+        return value
+    raise ValueError(f"fingerprints contain only str/int/bool, got {type(value)!r}")
+
+
+def fingerprint_from_json(value):
+    """Decode :func:`fingerprint_to_json` output back into tuples."""
+    if isinstance(value, list):
+        return tuple(fingerprint_from_json(item) for item in value)
+    if isinstance(value, (str, int, bool)):
+        return value
+    raise ValueError(f"invalid fingerprint element {value!r}")
+
+
+class PersistentCacheStore:
+    """Cross-run persistence for :class:`ProofCache` verdicts.
+
+    The store is a single versioned JSON file under ``directory``.  A store
+    is only valid for one portfolio configuration (prover line-up and
+    per-prover timeouts, summarized by ``portfolio_key``) and one
+    fingerprint scheme (:data:`FINGERPRINT_VERSION`): any mismatch -- as
+    well as a missing, truncated or otherwise corrupted file -- degrades to
+    a cold start, never to a crash or a misused verdict.
+
+    Writes are atomic (temp file + ``os.replace`` in the same directory)
+    and *merging*: :meth:`save` re-reads the current file under an
+    inter-process file lock and unions it with the new entries, so
+    concurrent writers can never corrupt the file and never lose each
+    other's verdicts (on platforms without ``fcntl`` the lock degrades to
+    plain atomic replace, where a racing writer's batch may be dropped but
+    the file always stays readable).
+    """
+
+    FILENAME = "proof_cache.json"
+
+    #: Entry cap for the on-disk file: merge-saves union forever, so an
+    #: unbounded store would eventually grow past any usefulness (and past
+    #: :class:`ProofCache`'s own limits).  When the cap is hit the oldest
+    #: entries are dropped (newly learned verdicts are kept).
+    MAX_ENTRIES = 1 << 16
+
+    def __init__(
+        self,
+        directory: str | Path,
+        portfolio_key: str,
+        filename: str | None = None,
+        max_entries: int = MAX_ENTRIES,
+    ) -> None:
+        self.directory = Path(directory)
+        self.portfolio_key = portfolio_key
+        self.path = self.directory / (filename or self.FILENAME)
+        self.max_entries = max_entries
+        #: Human-readable outcome of the last :meth:`load` call (the
+        #: internal re-reads of merge-saves do not touch it).
+        self.last_load_status = "not-loaded"
+
+    # -- reading -----------------------------------------------------------------
+
+    def load(self) -> dict[tuple, CachedVerdict]:
+        """Load the persisted verdicts, or ``{}`` on any mismatch/corruption."""
+        entries, status = self._read()
+        self.last_load_status = status
+        return entries
+
+    def _read(self) -> tuple[dict[tuple, CachedVerdict], str]:
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except (FileNotFoundError, NotADirectoryError):
+            return {}, "cold:missing"
+        except OSError:
+            return {}, "cold:unreadable"
+        return self._parse(raw)
+
+    def _parse(self, raw: str) -> tuple[dict[tuple, CachedVerdict], str]:
+        try:
+            payload = json.loads(raw)
+        except (json.JSONDecodeError, ValueError):
+            return {}, "cold:corrupt"
+        if not isinstance(payload, dict):
+            return {}, "cold:corrupt"
+        if payload.get("format") != CACHE_FORMAT_VERSION:
+            return {}, "cold:format-mismatch"
+        if payload.get("fingerprint_version") != FINGERPRINT_VERSION:
+            return {}, "cold:fingerprint-mismatch"
+        if payload.get("portfolio") != self.portfolio_key:
+            return {}, "cold:portfolio-mismatch"
+        raw_entries = payload.get("entries")
+        if not isinstance(raw_entries, list):
+            return {}, "cold:corrupt"
+        entries: dict[tuple, CachedVerdict] = {}
+        for pair in raw_entries:
+            try:
+                raw_key, verdict = pair
+                key = fingerprint_from_json(raw_key)
+                if not isinstance(key, tuple):
+                    raise ValueError("fingerprint must be a tuple")
+                entries[key] = CachedVerdict(
+                    proved=bool(verdict["proved"]),
+                    refuted=bool(verdict["refuted"]),
+                    winning_prover=str(verdict["prover"]),
+                    origin="disk",
+                )
+            except (ValueError, KeyError, TypeError):
+                # Skip individually damaged entries; keep the rest.
+                continue
+        return entries, f"warm:{len(entries)}"
+
+    # -- writing -----------------------------------------------------------------
+
+    def save(self, entries: dict[tuple, CachedVerdict], merge: bool = True) -> int:
+        """Atomically write ``entries``; returns the number persisted.
+
+        With ``merge`` (the default) the current on-disk entries are
+        re-read and unioned in first, so concurrent writers and repeated
+        partial runs accumulate instead of clobbering each other.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self._write_lock():
+            return self._save_locked(entries, merge)
+
+    @contextlib.contextmanager
+    def _write_lock(self):
+        if fcntl is None:
+            yield
+            return
+        lock_path = self.path.with_suffix(self.path.suffix + ".lock")
+        with open(lock_path, "a+") as lock_file:
+            fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_file.fileno(), fcntl.LOCK_UN)
+
+    def _save_locked(self, entries: dict[tuple, CachedVerdict], merge: bool) -> int:
+        combined: dict[tuple, CachedVerdict] = {}
+        if merge:
+            disk_entries, _ = self._read()
+            combined.update(disk_entries)
+        combined.update(entries)
+        if len(combined) > self.max_entries:
+            # Dict order is insertion order: disk entries came first, so
+            # dropping from the front keeps the newest verdicts.
+            excess = len(combined) - self.max_entries
+            for key in list(combined)[:excess]:
+                del combined[key]
+        payload = {
+            "format": CACHE_FORMAT_VERSION,
+            "fingerprint_version": FINGERPRINT_VERSION,
+            "portfolio": self.portfolio_key,
+            "entries": [
+                [
+                    fingerprint_to_json(key),
+                    {
+                        "proved": verdict.proved,
+                        "refuted": verdict.refuted,
+                        "prover": verdict.winning_prover,
+                    },
+                ]
+                for key, verdict in combined.items()
+            ],
+        }
+        fd, temp_path = tempfile.mkstemp(
+            prefix=self.path.name + ".", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        return len(combined)

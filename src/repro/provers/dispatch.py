@@ -34,12 +34,37 @@ from .result import (
 from .setsolver import SetCardinalityProver
 from .smt import SmtProver
 
-__all__ = ["ProverPortfolio", "DispatchResult", "default_portfolio"]
+__all__ = [
+    "ProverPortfolio",
+    "DispatchResult",
+    "PortfolioSpec",
+    "PROVER_FACTORIES",
+    "default_portfolio",
+]
+
+
+#: Registry mapping prover names to zero-argument factories.  The parallel
+#: scheduler serializes a portfolio as a :class:`PortfolioSpec` (names and
+#: timeouts only) and each worker process rebuilds the actual prover objects
+#: from this registry -- prover instances themselves never cross process
+#: boundaries.
+PROVER_FACTORIES: dict[str, type[Prover]] = {
+    SmtProver.name: SmtProver,
+    SetCardinalityProver.name: SetCardinalityProver,
+    FolProver.name: FolProver,
+    FiniteModelFinder.name: FiniteModelFinder,
+}
 
 
 @dataclass
 class DispatchResult:
-    """Everything the verifier needs to know about one dispatched sequent."""
+    """Everything the verifier needs to know about one dispatched sequent.
+
+    ``cache_origin`` is empty for sequents that actually ran provers and
+    ``"memory"`` / ``"disk"`` for cache hits, depending on whether the
+    verdict was produced during this process or loaded from a persistent
+    store.
+    """
 
     task: ProofTask
     proved: bool
@@ -47,6 +72,7 @@ class DispatchResult:
     winning_prover: str = ""
     attempts: list[ProverResult] = field(default_factory=list)
     cached: bool = False
+    cache_origin: str = ""
 
     @property
     def elapsed(self) -> float:
@@ -127,48 +153,82 @@ class ProverPortfolio:
         has been dispatched before is answered from the cache without
         consulting any prover.
         """
+        key, hit = self.consult_cache(task)
+        if hit is not None:
+            return hit
+        result = self.run_provers(task)
+        self.record_outcome(result)
+        self.store_verdict(key, result)
+        return result
+
+    # The three dispatch phases are exposed separately so the parallel
+    # scheduler (:mod:`repro.verifier.parallel`) can run the cache phase in
+    # the parent, the prover phase in worker processes, and the accounting /
+    # store phase back in the parent -- with counters and verdicts identical
+    # to a sequential :meth:`dispatch` loop over the same task order.
+
+    def consult_cache(self, task: ProofTask) -> tuple[tuple | None, DispatchResult | None]:
+        """Phase 1: count the attempt and answer from the cache if possible.
+
+        Returns ``(key, hit)`` where ``key`` is the task's fingerprint (or
+        ``None`` without a cache) and ``hit`` a finished cached
+        :class:`DispatchResult` (or ``None`` on a miss).
+        """
         self.statistics.sequents_attempted += 1
         cache = self.proof_cache
-        key: tuple | None = None
-        if cache is not None:
-            key = cache.key(task)
-            verdict = cache.lookup(key)
-            if verdict is None:
-                self.statistics.cache_misses += 1
-            else:
-                self.statistics.cache_hits += 1
-            if verdict is not None:
-                if verdict.proved:
-                    self.statistics.sequents_proved += 1
-                return DispatchResult(
-                    task=task,
-                    proved=verdict.proved,
-                    refuted=verdict.refuted,
-                    winning_prover=verdict.winning_prover,
-                    cached=True,
-                )
+        if cache is None:
+            return None, None
+        key = cache.key(task)
+        verdict = cache.lookup(key)
+        if verdict is None:
+            self.statistics.cache_misses += 1
+            return key, None
+        self.statistics.cache_hits += 1
+        if verdict.origin == "disk":
+            self.statistics.cache_hits_disk += 1
+        if verdict.proved:
+            self.statistics.sequents_proved += 1
+        return key, DispatchResult(
+            task=task,
+            proved=verdict.proved,
+            refuted=verdict.refuted,
+            winning_prover=verdict.winning_prover,
+            cached=True,
+            cache_origin=verdict.origin,
+        )
+
+    def run_provers(self, task: ProofTask) -> DispatchResult:
+        """Phase 2: run the portfolio on a cache miss (no accounting)."""
         result = DispatchResult(task=task, proved=False)
         for entry in self.entries:
             if not entry.enabled:
                 continue
             prover_result = entry.prover.prove(task, timeout=entry.timeout)
             result.attempts.append(prover_result)
-            self.statistics.record(entry.prover.name, prover_result)
             if prover_result.outcome is Outcome.PROVED:
                 result.proved = True
                 result.winning_prover = entry.prover.name
-                self.statistics.sequents_proved += 1
                 break
             if prover_result.outcome is Outcome.REFUTED:
                 result.refuted = True
                 result.winning_prover = entry.prover.name
                 break
-        if cache is not None and key is not None:
-            cache.store(
+        return result
+
+    def record_outcome(self, result: DispatchResult) -> None:
+        """Phase 3a: fold a :meth:`run_provers` result into the statistics."""
+        for prover_result in result.attempts:
+            self.statistics.record(prover_result.prover, prover_result)
+        if result.proved:
+            self.statistics.sequents_proved += 1
+
+    def store_verdict(self, key: tuple | None, result: DispatchResult) -> None:
+        """Phase 3b: remember the verdict for future duplicates."""
+        if self.proof_cache is not None and key is not None:
+            self.proof_cache.store(
                 key,
                 CachedVerdict(result.proved, result.refuted, result.winning_prover),
             )
-        return result
 
 
 def default_portfolio(
@@ -193,3 +253,49 @@ def default_portfolio(
     if model_finder_timeout > 0:
         entries.append(PortfolioEntry(FiniteModelFinder(), model_finder_timeout))
     return ProverPortfolio(entries, ProofCache() if with_cache else None)
+
+
+@dataclass(frozen=True)
+class PortfolioSpec:
+    """A picklable description of a portfolio: prover names and timeouts.
+
+    This is the unit shipped to worker processes (worker-side portfolio
+    construction) and the identity a persistent proof cache is bound to:
+    two runs share disk verdicts only when their specs -- and the
+    fingerprint scheme -- agree.
+    """
+
+    entries: tuple[tuple[str, float], ...]
+
+    @classmethod
+    def from_portfolio(cls, portfolio: ProverPortfolio) -> "PortfolioSpec":
+        """Describe ``portfolio``; raises ``ValueError`` for provers outside
+        :data:`PROVER_FACTORIES` (custom prover objects cannot be rebuilt in
+        a worker process)."""
+        entries = []
+        for entry in portfolio.entries:
+            if not entry.enabled:
+                continue
+            name = entry.prover.name
+            if name not in PROVER_FACTORIES:
+                raise ValueError(
+                    f"prover {name!r} is not in PROVER_FACTORIES; parallel "
+                    "dispatch and persistent caching need reconstructible provers"
+                )
+            entries.append((name, float(entry.timeout)))
+        return cls(tuple(entries))
+
+    def build(self, proof_cache: ProofCache | None = None) -> ProverPortfolio:
+        """Construct a fresh portfolio matching this spec."""
+        return ProverPortfolio(
+            [
+                PortfolioEntry(PROVER_FACTORIES[name](), timeout)
+                for name, timeout in self.entries
+            ],
+            proof_cache,
+        )
+
+    @property
+    def cache_key(self) -> str:
+        """The persistent-cache compatibility key of this line-up."""
+        return ";".join(f"{name}:{timeout:g}" for name, timeout in self.entries)

@@ -63,14 +63,22 @@ class ProverResult:
 
 
 class Budget:
-    """A cooperative deadline shared by the components of a prover run."""
+    """A cooperative deadline shared by the components of a prover run.
+
+    The budget measures **per-process CPU time**, not wall-clock time: the
+    provers are pure compute, and a CPU budget makes timeouts independent
+    of machine load -- in particular, the worker processes of a parallel
+    run (:mod:`repro.verifier.parallel`) contending for cores reach
+    exactly the same timeout decisions the sequential run would, which is
+    what keeps parallel verdicts and prover attribution bit-identical.
+    """
 
     def __init__(self, seconds: float | None) -> None:
         self.seconds = seconds
-        self.start = time.monotonic()
+        self.start = time.process_time()
 
     def elapsed(self) -> float:
-        return time.monotonic() - self.start
+        return time.process_time() - self.start
 
     def remaining(self) -> float:
         if self.seconds is None:
@@ -111,7 +119,9 @@ class PortfolioStatistics:
 
     ``cache_hits`` / ``cache_misses`` count proof-cache consultations by the
     dispatcher (zero when no cache is attached); a hit answers the sequent
-    without running any prover.
+    without running any prover.  ``cache_hits_disk`` is the subset of hits
+    answered by verdicts loaded from a persistent store (the rest were
+    produced during this process -- "memory" hits).
     """
 
     per_prover: dict[str, ProverStatistics] = field(default_factory=dict)
@@ -119,6 +129,11 @@ class PortfolioStatistics:
     sequents_proved: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_hits_disk: int = 0
+
+    @property
+    def cache_hits_memory(self) -> int:
+        return self.cache_hits - self.cache_hits_disk
 
     @property
     def cache_lookups(self) -> int:
@@ -138,6 +153,7 @@ class PortfolioStatistics:
         self.sequents_proved += other.sequents_proved
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.cache_hits_disk += other.cache_hits_disk
         for name, stats in other.per_prover.items():
             mine = self.per_prover.setdefault(name, ProverStatistics())
             mine.attempts += stats.attempts

@@ -1,6 +1,7 @@
 """The end-to-end verification engine, reporting and statistics."""
 
 from .engine import ClassReport, MethodReport, SequentOutcome, VerificationEngine
+from .parallel import ParallelRunStats, WorkerLoad, verify_class_parallel
 from .report import (
     Table1Row,
     Table2Row,

@@ -17,12 +17,24 @@ import sys
 from ..provers.dispatch import default_portfolio
 from .engine import VerificationEngine
 from .report import (
+    format_parallel,
     format_performance,
     format_table1,
     format_table2,
     table1_rows,
     table2_rows,
 )
+
+
+def _print_perf(engine: VerificationEngine) -> None:
+    print(format_performance(portfolio=engine.portfolio))
+    if engine.parallel_stats_total is not None:
+        print(format_parallel(engine.parallel_stats_total))
+    if engine.persistent_store is not None:
+        print(
+            f"Persistent cache: {engine.persistent_store.path} "
+            f"({engine.persistent_store.last_load_status})"
+        )
 
 __all__ = ["main"]
 
@@ -49,6 +61,26 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the sequent-level proof cache",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard prover dispatch across N worker processes "
+        "(verdicts are identical to the sequential run)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist proof-cache verdicts under DIR across runs "
+        "(invalidated automatically on portfolio or fingerprint changes)",
+    )
+    parser.add_argument(
+        "--no-persist",
+        action="store_true",
+        help="with --cache-dir: read the persistent cache but do not write it back",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list benchmark data structures")
     verify = subparsers.add_parser("verify", help="verify one data structure")
@@ -69,7 +101,13 @@ def main(argv: list[str] | None = None) -> int:
 
     portfolio = default_portfolio(with_cache=not args.no_cache)
     portfolio = portfolio.scaled(args.timeout_scale)
-    engine = VerificationEngine(portfolio, use_proof_cache=not args.no_cache)
+    engine = VerificationEngine(
+        portfolio,
+        use_proof_cache=not args.no_cache,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        persist=not args.no_persist,
+    )
 
     if args.command == "list":
         for cls in all_structures():
@@ -94,7 +132,7 @@ def main(argv: list[str] | None = None) -> int:
             f"{report.elapsed:.1f}s"
         )
         if args.perf:
-            print(format_performance(portfolio=engine.portfolio))
+            _print_perf(engine)
         return 0 if report.verified else 1
 
     if args.command == "table1":
@@ -102,7 +140,7 @@ def main(argv: list[str] | None = None) -> int:
         print(format_table1(rows))
         if args.perf:
             print()
-            print(format_performance(portfolio=engine.portfolio))
+            _print_perf(engine)
         return 0
 
     if args.command == "table2":
@@ -110,7 +148,7 @@ def main(argv: list[str] | None = None) -> int:
         print(format_table2(rows))
         if args.perf:
             print()
-            print(format_performance(portfolio=engine.portfolio))
+            _print_perf(engine)
         return 0
 
     return 2

@@ -18,13 +18,20 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..frontend.ast import ClassModel, Method
 from ..frontend.lower import lower_method
 from ..gcl.desugar import Desugarer
 from ..logic.terms import free_var_names
-from ..provers.cache import ProofCache
-from ..provers.dispatch import DispatchResult, ProverPortfolio, default_portfolio
+from ..provers.cache import PersistentCacheStore, ProofCache
+from ..provers.dispatch import (
+    DispatchResult,
+    PortfolioSpec,
+    ProverPortfolio,
+    default_portfolio,
+)
+from ..provers.result import ProofTask
 from ..vcgen.assumptions import relevance_filter
 from ..vcgen.sequent import Sequent
 from ..vcgen.vcgen import VcGenerator
@@ -124,7 +131,17 @@ class ClassReport:
 
 
 class VerificationEngine:
-    """Drives lowering, VC generation and prover dispatch."""
+    """Drives lowering, VC generation and prover dispatch.
+
+    ``jobs`` > 1 shards prover dispatch across that many worker processes
+    (:mod:`repro.verifier.parallel`); verdicts stay identical to the
+    sequential path.  ``cache_dir`` attaches a persistent
+    :class:`~repro.provers.cache.PersistentCacheStore` keyed by the
+    portfolio configuration: verdicts are loaded at start-up and -- unless
+    ``persist`` is False -- written back atomically after every
+    :meth:`verify_class`, so repeated runs of an unchanged suite are
+    answered almost entirely from disk.
+    """
 
     def __init__(
         self,
@@ -133,6 +150,9 @@ class VerificationEngine:
         use_relevance_filter: bool = True,
         runtime_checks: bool = True,
         use_proof_cache: bool = True,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        persist: bool = True,
     ) -> None:
         if portfolio is None:
             portfolio = default_portfolio(with_cache=use_proof_cache)
@@ -147,6 +167,19 @@ class VerificationEngine:
         self.apply_from_clauses = apply_from_clauses
         self.use_relevance_filter = use_relevance_filter
         self.runtime_checks = runtime_checks
+        self.jobs = max(1, int(jobs))
+        self.persist = persist
+        self.persistent_store: PersistentCacheStore | None = None
+        #: :class:`~repro.verifier.parallel.ParallelRunStats` of the most
+        #: recent parallel ``verify_class`` call (None after sequential runs).
+        self.last_parallel_stats = None
+        #: Aggregate of every parallel run this engine performed.
+        self.parallel_stats_total = None
+        self._flushed_mutations = 0
+        if cache_dir is not None and self.portfolio.proof_cache is not None:
+            spec = PortfolioSpec.from_portfolio(self.portfolio)
+            self.persistent_store = PersistentCacheStore(cache_dir, spec.cache_key)
+            self.portfolio.proof_cache.preload(self.persistent_store.load())
 
     # -- sequent generation ------------------------------------------------------
 
@@ -163,6 +196,20 @@ class VerificationEngine:
         generator = VcGenerator()
         return generator.generate(simple, post=None)
 
+    def task_for(self, sequent: Sequent) -> ProofTask:
+        """The proof task the portfolio receives for ``sequent``.
+
+        Applies the engine's ``from``-clause and relevance-filter policy;
+        the sequential and parallel paths share this so both dispatch
+        byte-identical tasks.
+        """
+        task = sequent.to_task(apply_from_clause=self.apply_from_clauses)
+        if self.use_relevance_filter and not (
+            self.apply_from_clauses and sequent.from_hints
+        ):
+            task = relevance_filter(task)
+        return task
+
     # -- verification ---------------------------------------------------------------
 
     def verify_method(self, cls: ClassModel, method: Method) -> MethodReport:
@@ -170,21 +217,24 @@ class VerificationEngine:
         start = time.monotonic()
         report = MethodReport(cls.name, method.name)
         for sequent in self.method_sequents(cls, method):
-            task = sequent.to_task(apply_from_clause=self.apply_from_clauses)
-            if self.use_relevance_filter and not (
-                self.apply_from_clauses and sequent.from_hints
-            ):
-                task = relevance_filter(task)
-            dispatch = self.portfolio.dispatch(task)
+            dispatch = self.portfolio.dispatch(self.task_for(sequent))
             report.outcomes.append(SequentOutcome(sequent, dispatch))
         report.elapsed = time.monotonic() - start
         return report
 
-    def verify_class(self, cls: ClassModel, strip_proofs: bool = False) -> ClassReport:
+    def verify_class(
+        self,
+        cls: ClassModel,
+        strip_proofs: bool = False,
+        parallel: int | None = None,
+    ) -> ClassReport:
         """Verify every method of ``cls``.
 
         With ``strip_proofs`` the integrated proof language constructs are
-        removed first (the Table 2 ablation).
+        removed first (the Table 2 ablation).  ``parallel`` overrides the
+        engine's ``jobs`` setting for this call; any value > 1 shards
+        dispatch across worker processes with verdicts identical to the
+        sequential path.
 
         The portfolio's sequent-level proof cache stays warm across the
         whole run: the near-duplicate split sequents of one method, the
@@ -193,7 +243,38 @@ class VerificationEngine:
         dispatched to the provers only once.
         """
         target = strip_proofs_from_class(cls) if strip_proofs else cls
-        report = ClassReport(cls.name)
-        for method in target.methods:
-            report.methods.append(self.verify_method(target, method))
+        jobs = self.jobs if parallel is None else max(1, int(parallel))
+        if jobs > 1:
+            from .parallel import verify_class_parallel
+
+            report, run_stats = verify_class_parallel(self, target, jobs)
+            self.last_parallel_stats = run_stats
+            if self.parallel_stats_total is None:
+                from .parallel import ParallelRunStats
+
+                self.parallel_stats_total = ParallelRunStats(jobs=jobs)
+            self.parallel_stats_total.merge(run_stats)
+        else:
+            report = ClassReport(cls.name)
+            for method in target.methods:
+                report.methods.append(self.verify_method(target, method))
+            self.last_parallel_stats = None
+        self.flush_persistent_cache()
         return report
+
+    # -- persistence ---------------------------------------------------------------
+
+    def flush_persistent_cache(self) -> int:
+        """Write the in-memory proof cache back to the persistent store.
+
+        No-op (returning 0) without a store, with ``persist`` disabled, or
+        when no new verdict was learned since the last flush; otherwise
+        returns the number of entries now on disk.
+        """
+        cache = self.portfolio.proof_cache
+        if self.persistent_store is None or not self.persist or cache is None:
+            return 0
+        if cache.mutations == self._flushed_mutations:
+            return 0
+        self._flushed_mutations = cache.mutations
+        return self.persistent_store.save(cache.snapshot())

@@ -1,0 +1,238 @@
+"""Parallel sharded prover dispatch.
+
+The sequents of a class are independent proof obligations, so the paper's
+Tables 1--2 workload is embarrassingly parallel once each sequent is cheap
+to fingerprint (PR 1).  This module shards the *cache-missing* sequents of
+a class across a ``ProcessPoolExecutor`` worker pool and deterministically
+merges the verdicts back into the same :class:`~repro.verifier.engine.MethodReport`
+/ :class:`~repro.verifier.engine.ClassReport` shapes the sequential path
+produces.
+
+Design: parent-side cache authority
+-----------------------------------
+
+All caching decisions happen in the parent process, in the exact sequent
+order the sequential engine would use:
+
+1. sequent generation runs in the parent (it is cheap and memoized);
+2. for every task, the parent runs the dispatcher's cache phase
+   (:meth:`~repro.provers.dispatch.ProverPortfolio.consult_cache`) --
+   in-memory hits and persistent-store hits are answered immediately;
+3. misses are *deduplicated by fingerprint*: the first occurrence becomes
+   the shard representative, later occurrences are resolved as memory
+   cache hits once the representative's verdict arrives -- exactly what
+   the sequential warm cache would have done;
+4. only unique misses are shipped to workers.  Each worker rebuilds the
+   prover portfolio from a picklable :class:`~repro.provers.dispatch.PortfolioSpec`
+   (prover objects never cross process boundaries) and runs the pure
+   prover phase with no cache of its own;
+5. the parent replays each verdict into its own statistics and cache
+   (:meth:`record_outcome` / :meth:`store_verdict`), so counters, verdicts,
+   prover attribution and cache contents are bit-identical to a sequential
+   run over the same sequents.
+
+Because the parent owns the cache, there is exactly one writer for the
+persistent store and workers stay read-free; a fully warm run dispatches
+nothing and never even spawns the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..frontend.ast import ClassModel
+from ..provers.dispatch import DispatchResult, PortfolioSpec, ProverPortfolio
+from ..provers.result import ProofTask
+from ..vcgen.sequent import Sequent
+
+__all__ = ["ParallelRunStats", "WorkerLoad", "verify_class_parallel"]
+
+
+@dataclass
+class WorkerLoad:
+    """Per-worker-process accounting of one parallel run."""
+
+    pid: int
+    tasks: int = 0
+    prover_time: float = 0.0
+
+
+@dataclass
+class ParallelRunStats:
+    """Scheduling statistics of one :func:`verify_class_parallel` run."""
+
+    jobs: int
+    sequents_total: int = 0
+    dispatched: int = 0
+    hits_disk: int = 0
+    hits_memory: int = 0
+    duplicates_folded: int = 0
+    wall_time: float = 0.0
+    workers: list[WorkerLoad] = field(default_factory=list)
+
+    @property
+    def prover_time(self) -> float:
+        return sum(load.prover_time for load in self.workers)
+
+    def merge(self, other: "ParallelRunStats") -> None:
+        """Fold another run's numbers in (used across classes of a suite)."""
+        self.sequents_total += other.sequents_total
+        self.dispatched += other.dispatched
+        self.hits_disk += other.hits_disk
+        self.hits_memory += other.hits_memory
+        self.duplicates_folded += other.duplicates_folded
+        self.wall_time += other.wall_time
+        mine = {load.pid: load for load in self.workers}
+        for load in other.workers:
+            merged = mine.get(load.pid)
+            if merged is None:
+                merged = WorkerLoad(load.pid)
+                mine[load.pid] = merged
+                self.workers.append(merged)
+            merged.tasks += load.tasks
+            merged.prover_time += load.prover_time
+
+
+@dataclass
+class _Slot:
+    """One sequent's position in the deterministic merge order."""
+
+    method_index: int
+    sequent: Sequent
+    task: ProofTask
+    key: tuple | None = None
+    result: DispatchResult | None = None
+    shard_index: int | None = None
+    duplicate_of: int | None = None  # index into the shard list
+
+
+# Worker-side state: one portfolio per worker process, built from the spec
+# at pool start-up.  Workers run the pure prover phase only -- no cache --
+# because the parent has already deduplicated and answered every cacheable
+# sequent.
+_WORKER_PORTFOLIO: ProverPortfolio | None = None
+
+
+def _init_worker(spec: PortfolioSpec) -> None:
+    global _WORKER_PORTFOLIO
+    _WORKER_PORTFOLIO = spec.build(proof_cache=None)
+
+
+def _dispatch_in_worker(item: tuple[int, ProofTask]):
+    index, task = item
+    start = time.monotonic()
+    result = _WORKER_PORTFOLIO.run_provers(task)
+    return index, os.getpid(), time.monotonic() - start, result
+
+
+def verify_class_parallel(engine, target: ClassModel, jobs: int):
+    """Verify every method of ``target`` with ``jobs`` worker processes.
+
+    Returns ``(ClassReport, ParallelRunStats)``.  Verdicts, prover
+    attribution and portfolio statistics are identical to the sequential
+    :meth:`~repro.verifier.engine.VerificationEngine.verify_class` path
+    (modulo timing jitter on near-timeout sequents, which both paths share).
+    """
+    # Imported here: engine.py imports this module lazily and vice versa.
+    from .engine import ClassReport, MethodReport, SequentOutcome
+
+    portfolio = engine.portfolio
+    spec = PortfolioSpec.from_portfolio(portfolio)
+    stats = ParallelRunStats(jobs=jobs)
+
+    # Phase 1 (parent): generate sequents in sequential order and resolve
+    # everything the cache already knows.
+    slots: list[_Slot] = []
+    shard: list[_Slot] = []
+    pending_by_key: dict[tuple, int] = {}
+    for method_index, method in enumerate(target.methods):
+        for sequent in engine.method_sequents(target, method):
+            slot = _Slot(method_index, sequent, engine.task_for(sequent))
+            slots.append(slot)
+            key, hit = portfolio.consult_cache(slot.task)
+            slot.key = key
+            if hit is not None:
+                slot.result = hit
+                if hit.cache_origin == "disk":
+                    stats.hits_disk += 1
+                else:
+                    stats.hits_memory += 1
+                continue
+            if key is not None and key in pending_by_key:
+                # A duplicate of a sequent already queued this run: the
+                # sequential path would find its verdict in the warm cache.
+                slot.duplicate_of = pending_by_key[key]
+                portfolio.statistics.cache_misses -= 1  # counted by consult_cache
+                portfolio.statistics.cache_hits += 1
+                stats.duplicates_folded += 1
+                continue
+            slot.shard_index = len(shard)
+            shard.append(slot)
+            if key is not None:
+                pending_by_key[key] = slot.shard_index
+    stats.sequents_total = len(slots)
+    stats.dispatched = len(shard)
+
+    # Phase 2 (workers): run the provers on the unique misses.
+    shard_results: list[DispatchResult] = [None] * len(shard)  # type: ignore[list-item]
+    start = time.monotonic()
+    if shard:
+        worker_loads: dict[int, WorkerLoad] = {}
+        max_workers = min(jobs, len(shard))
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(spec,),
+        ) as pool:
+            items = [(slot.shard_index, slot.task) for slot in shard]
+            for index, pid, wall, result in pool.map(
+                _dispatch_in_worker, items, chunksize=1
+            ):
+                shard_results[index] = result
+                load = worker_loads.setdefault(pid, WorkerLoad(pid))
+                load.tasks += 1
+                load.prover_time += wall
+        stats.workers = sorted(worker_loads.values(), key=lambda load: load.pid)
+    stats.wall_time = time.monotonic() - start
+
+    # Phase 3 (parent): deterministic merge.  Replay verdicts into the
+    # parent's statistics and cache in sequential sequent order, then
+    # resolve the folded duplicates as memory cache hits.
+    for slot in shard:
+        result = shard_results[slot.shard_index]
+        slot.result = result
+        portfolio.record_outcome(result)
+        portfolio.store_verdict(slot.key, result)
+    for slot in slots:
+        if slot.duplicate_of is not None:
+            rep = shard_results[slot.duplicate_of]
+            if rep.proved:
+                portfolio.statistics.sequents_proved += 1
+            slot.result = DispatchResult(
+                task=slot.task,
+                proved=rep.proved,
+                refuted=rep.refuted,
+                winning_prover=rep.winning_prover,
+                cached=True,
+                cache_origin="memory",
+            )
+
+    report = ClassReport(target.name)
+    for method_index, method in enumerate(target.methods):
+        method_report = MethodReport(target.name, method.name)
+        for slot in slots:
+            if slot.method_index == method_index:
+                method_report.outcomes.append(
+                    SequentOutcome(slot.sequent, slot.result)
+                )
+        # The sequential path measures per-method wall time; in a parallel
+        # run the methods overlap, so the closest faithful number is the
+        # prover time actually spent on the method's sequents.
+        method_report.elapsed = sum(
+            outcome.dispatch.elapsed for outcome in method_report.outcomes
+        )
+        report.methods.append(method_report)
+    return report, stats

@@ -29,6 +29,7 @@ __all__ = [
     "format_table2",
     "format_table",
     "format_performance",
+    "format_parallel",
 ]
 
 
@@ -219,12 +220,37 @@ def format_performance(
         f"  terms allocated     {counters.terms_allocated}",
         f"  terms interned      {counters.terms_interned} "
         f"(hit rate {counters.intern_hit_rate:.1%})",
-        f"  proof cache hits    {counters.proof_cache_hits}",
+        f"  proof cache hits    {counters.proof_cache_hits} "
+        f"(memory {counters.proof_cache_hits_memory}, "
+        f"disk {counters.proof_cache_hits_disk})",
         f"  proof cache misses  {counters.proof_cache_misses} "
         f"(hit rate {counters.proof_cache_hit_rate:.1%})",
         f"  sequents attempted  {counters.sequents_attempted}",
         f"  sequents proved     {counters.sequents_proved}",
     ]
+    return "\n".join(lines)
+
+
+def format_parallel(stats) -> str:
+    """Render the scheduling statistics of a parallel verification run.
+
+    ``stats`` is a :class:`~repro.verifier.parallel.ParallelRunStats`.
+    """
+    lines = [
+        f"Parallel dispatch ({stats.jobs} jobs)",
+        f"  sequents total      {stats.sequents_total}",
+        f"  shipped to workers  {stats.dispatched}",
+        f"  answered from cache {stats.hits_memory + stats.hits_disk} "
+        f"(memory {stats.hits_memory}, disk {stats.hits_disk})",
+        f"  duplicates folded   {stats.duplicates_folded}",
+        f"  pool wall time      {stats.wall_time:.1f}s "
+        f"(prover time {stats.prover_time:.1f}s)",
+    ]
+    for load in stats.workers:
+        lines.append(
+            f"  worker {load.pid:<12} {load.tasks} sequents, "
+            f"{load.prover_time:.1f}s"
+        )
     return "\n".join(lines)
 
 

@@ -91,7 +91,9 @@ class PerformanceCounters:
       node already existed and was shared instead of rebuilt);
     * ``proof_cache_hits`` / ``proof_cache_misses``: sequents answered from
       the portfolio's sequent-level result cache versus dispatched to the
-      provers;
+      provers; ``proof_cache_hits_disk`` is the subset answered by verdicts
+      loaded from a persistent cross-run store (the rest are "memory" hits
+      produced during this process);
     * ``sequents_attempted`` / ``sequents_proved``: dispatcher totals.
     """
 
@@ -99,8 +101,13 @@ class PerformanceCounters:
     terms_interned: int = 0
     proof_cache_hits: int = 0
     proof_cache_misses: int = 0
+    proof_cache_hits_disk: int = 0
     sequents_attempted: int = 0
     sequents_proved: int = 0
+
+    @property
+    def proof_cache_hits_memory(self) -> int:
+        return self.proof_cache_hits - self.proof_cache_hits_disk
 
     @property
     def intern_hit_rate(self) -> float:
@@ -129,6 +136,7 @@ def performance_counters(portfolio=None) -> PerformanceCounters:
         portfolio_stats = portfolio.statistics
         counters.proof_cache_hits = portfolio_stats.cache_hits
         counters.proof_cache_misses = portfolio_stats.cache_misses
+        counters.proof_cache_hits_disk = portfolio_stats.cache_hits_disk
         counters.sequents_attempted = portfolio_stats.sequents_attempted
         counters.sequents_proved = portfolio_stats.sequents_proved
     return counters

@@ -1,0 +1,287 @@
+"""Tests for the persistent (cross-run) proof cache store.
+
+Covers the satellite checklist: round-trip save/load, version and
+portfolio mismatches degrading to a cold start (never a crash), corrupted
+and truncated cache files, concurrent writer atomicity, and the
+engine-level wiring (disk-hit provenance, ``persist=False`` read-only
+mode).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.provers.cache import (
+    CACHE_FORMAT_VERSION,
+    FINGERPRINT_VERSION,
+    CachedVerdict,
+    PersistentCacheStore,
+    ProofCache,
+    fingerprint_from_json,
+    fingerprint_to_json,
+)
+from repro.provers.dispatch import PortfolioSpec, default_portfolio
+from repro.suite import all_structures
+from repro.verifier.engine import VerificationEngine
+
+
+def sample_entries() -> dict[tuple, CachedVerdict]:
+    return {
+        (("a", ("v", "x", "int")), ("t", True)): CachedVerdict(True, False, "smt"),
+        (("b", 3), ("i", -12)): CachedVerdict(False, True, "model-finder"),
+        ((), ("c", "null", "obj")): CachedVerdict(False, False, ""),
+    }
+
+
+class TestFingerprintCodec:
+    def test_round_trip_through_json(self):
+        for key in sample_entries():
+            wire = json.loads(json.dumps(fingerprint_to_json(key)))
+            assert fingerprint_from_json(wire) == key
+
+    def test_rejects_non_literal_elements(self):
+        with pytest.raises(ValueError):
+            fingerprint_to_json((("i", 1.5),))
+        with pytest.raises(ValueError):
+            fingerprint_to_json((None,))
+
+    def test_rejects_garbage_on_decode(self):
+        with pytest.raises(ValueError):
+            fingerprint_from_json([["i", None]])
+        with pytest.raises(ValueError):
+            fingerprint_from_json({"not": "a fingerprint"})
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        store = PersistentCacheStore(tmp_path, "smt:4;fol:2")
+        entries = sample_entries()
+        assert store.save(entries) == len(entries)
+        loaded = PersistentCacheStore(tmp_path, "smt:4;fol:2").load()
+        assert set(loaded) == set(entries)
+        for key, verdict in entries.items():
+            assert loaded[key].proved == verdict.proved
+            assert loaded[key].refuted == verdict.refuted
+            assert loaded[key].winning_prover == verdict.winning_prover
+            # Provenance is rewritten on load.
+            assert loaded[key].origin == "disk"
+
+    def test_missing_file_is_cold(self, tmp_path):
+        store = PersistentCacheStore(tmp_path, "smt:4")
+        assert store.load() == {}
+        assert store.last_load_status == "cold:missing"
+
+    def test_merge_accumulates_across_saves(self, tmp_path):
+        store = PersistentCacheStore(tmp_path, "k")
+        first = {(("i", 1),): CachedVerdict(True, False, "smt")}
+        second = {(("i", 2),): CachedVerdict(False, False, "fol")}
+        store.save(first)
+        store.save(second)
+        assert set(store.load()) == set(first) | set(second)
+
+    def test_save_without_merge_replaces(self, tmp_path):
+        store = PersistentCacheStore(tmp_path, "k")
+        store.save({(("i", 1),): CachedVerdict(True, False, "smt")})
+        store.save({(("i", 2),): CachedVerdict(True, False, "smt")}, merge=False)
+        assert set(store.load()) == {(("i", 2),)}
+
+    def test_merge_saves_do_not_clobber_load_status(self, tmp_path):
+        # Regression: merge-saves re-read the file internally; that must
+        # not rewrite the cold/warm diagnostic of the *explicit* load.
+        store = PersistentCacheStore(tmp_path, "k")
+        assert store.load() == {}
+        assert store.last_load_status == "cold:missing"
+        store.save({(("i", 1),): CachedVerdict(True, False, "smt")})
+        store.save({(("i", 2),): CachedVerdict(True, False, "smt")})
+        assert store.last_load_status == "cold:missing"
+
+    def test_save_caps_store_size_keeping_new_entries(self, tmp_path):
+        store = PersistentCacheStore(tmp_path, "k", max_entries=4)
+        store.save({(("i", n),): CachedVerdict(True, False, "smt") for n in range(4)})
+        store.save({(("i", 99),): CachedVerdict(True, False, "fol")})
+        loaded = store.load()
+        assert len(loaded) == 4
+        assert (("i", 99),) in loaded
+
+    def test_preload_never_fills_cache_to_eviction_point(self):
+        # Regression: an over-large store must not preload the cache so
+        # full that the first new verdict's store() wipes every entry.
+        cache = ProofCache(max_entries=8)
+        cache.preload(
+            {(("i", n),): CachedVerdict(True, False, "smt") for n in range(20)}
+        )
+        assert 0 < len(cache) < 8
+        cache.store((("i", 100),), CachedVerdict(True, False, "smt"))
+        assert cache.lookup((("i", 0),)) is not None  # preload survived
+
+
+class TestInvalidation:
+    def _write_payload(self, tmp_path, **overrides):
+        store = PersistentCacheStore(tmp_path, "smt:4")
+        store.save(sample_entries())
+        payload = json.loads(store.path.read_text())
+        payload.update(overrides)
+        store.path.write_text(json.dumps(payload))
+        return store
+
+    def test_fingerprint_version_mismatch_cold_start(self, tmp_path):
+        store = self._write_payload(
+            tmp_path, fingerprint_version=FINGERPRINT_VERSION + 1
+        )
+        assert store.load() == {}
+        assert store.last_load_status == "cold:fingerprint-mismatch"
+
+    def test_format_version_mismatch_cold_start(self, tmp_path):
+        store = self._write_payload(tmp_path, format=CACHE_FORMAT_VERSION + 1)
+        assert store.load() == {}
+        assert store.last_load_status == "cold:format-mismatch"
+
+    def test_portfolio_mismatch_cold_start(self, tmp_path):
+        store = self._write_payload(tmp_path)
+        other = PersistentCacheStore(tmp_path, "smt:8;fol:2")
+        assert other.load() == {}
+        assert other.last_load_status == "cold:portfolio-mismatch"
+
+    def test_portfolio_key_tracks_timeout_scaling(self):
+        base = default_portfolio()
+        assert (
+            PortfolioSpec.from_portfolio(base).cache_key
+            != PortfolioSpec.from_portfolio(base.scaled(0.5)).cache_key
+        )
+
+
+class TestCorruptionRecovery:
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "",  # empty file
+            "{",  # truncated JSON
+            "[]",  # wrong top-level type
+            "null",
+            '{"format": 1}',  # missing fields
+            "\x00\x01\x02 binary junk",
+        ],
+        ids=["empty", "truncated", "list", "null", "partial", "binary"],
+    )
+    def test_corrupt_file_cold_start(self, tmp_path, content):
+        store = PersistentCacheStore(tmp_path, "smt:4")
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_text(content)
+        assert store.load() == {}
+        assert store.last_load_status.startswith("cold:")
+
+    def test_truncated_after_valid_save(self, tmp_path):
+        store = PersistentCacheStore(tmp_path, "smt:4")
+        store.save(sample_entries())
+        raw = store.path.read_text()
+        store.path.write_text(raw[: len(raw) // 2])
+        assert store.load() == {}
+        # A save over the truncated file recovers cleanly.
+        store.save(sample_entries())
+        assert len(store.load()) == len(sample_entries())
+
+    def test_damaged_individual_entries_are_skipped(self, tmp_path):
+        store = PersistentCacheStore(tmp_path, "smt:4")
+        store.save(sample_entries())
+        payload = json.loads(store.path.read_text())
+        payload["entries"].append(
+            ["not-a-fingerprint", {"proved": True, "refuted": False, "prover": "smt"}]
+        )
+        payload["entries"].append([[["i", 9]], "not a verdict"])
+        payload["entries"].append([[["i", 9.5]], {"proved": True, "refuted": False, "prover": "x"}])
+        payload["entries"].append("not even a pair")
+        store.path.write_text(json.dumps(payload))
+        loaded = store.load()
+        assert set(loaded) == set(sample_entries())
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = PersistentCacheStore(tmp_path, "smt:4")
+        store.save(sample_entries())
+        leftovers = [p for p in os.listdir(tmp_path) if p.endswith(".tmp")]
+        assert leftovers == []
+
+
+def _concurrent_writer(args) -> int:
+    directory, writer_id = args
+    store = PersistentCacheStore(directory, "shared-key")
+    for round_number in range(5):
+        entries = {
+            (("i", writer_id), ("i", round_number)): CachedVerdict(
+                True, False, f"writer-{writer_id}"
+            )
+        }
+        store.save(entries)
+    return writer_id
+
+
+class TestConcurrentWriters:
+    def test_file_stays_valid_under_concurrent_saves(self, tmp_path):
+        with multiprocessing.Pool(3) as pool:
+            pool.map(_concurrent_writer, [(str(tmp_path), i) for i in range(3)])
+        store = PersistentCacheStore(tmp_path, "shared-key")
+        loaded = store.load()
+        # The file is valid JSON with a coherent schema no matter how the
+        # writers interleaved...
+        assert store.last_load_status.startswith("warm:")
+        # ...and the inter-process write lock makes merge-on-save atomic:
+        # the union of every writer's batches survives.
+        assert set(loaded) == {
+            (("i", writer), ("i", round_number))
+            for writer in range(3)
+            for round_number in range(5)
+        }
+
+
+class TestEngineWiring:
+    @pytest.fixture(scope="class")
+    def linked_list(self):
+        return next(c for c in all_structures() if c.name == "Linked List")
+
+    def _engine(self, tmp_path, **kwargs) -> VerificationEngine:
+        return VerificationEngine(
+            default_portfolio().scaled(0.4), cache_dir=tmp_path, **kwargs
+        )
+
+    def test_second_run_hits_disk_with_identical_verdicts(
+        self, tmp_path, linked_list
+    ):
+        first = self._engine(tmp_path)
+        cold = first.verify_class(linked_list)
+        assert first.portfolio.statistics.cache_hits_disk == 0
+
+        second = self._engine(tmp_path)
+        warm = second.verify_class(linked_list)
+        stats = second.portfolio.statistics
+        assert stats.cache_hits_disk > 0
+        assert stats.per_prover == {}  # no prover ever ran
+        assert [
+            (o.sequent.label, o.proved, o.prover)
+            for m in cold.methods for o in m.outcomes
+        ] == [
+            (o.sequent.label, o.proved, o.prover)
+            for m in warm.methods for o in m.outcomes
+        ]
+        warm_hits = [
+            o.dispatch.cache_origin
+            for m in warm.methods for o in m.outcomes
+        ]
+        assert set(warm_hits) == {"disk"}
+
+    def test_no_persist_is_read_only(self, tmp_path, linked_list):
+        engine = self._engine(tmp_path, persist=False)
+        engine.verify_class(linked_list)
+        assert engine.persistent_store is not None
+        assert not engine.persistent_store.path.exists()
+
+    def test_parallel_and_persistent_compose(self, tmp_path, linked_list):
+        first = self._engine(tmp_path, jobs=2)
+        first.verify_class(linked_list)
+        second = self._engine(tmp_path, jobs=2)
+        second.verify_class(linked_list)
+        stats = second.last_parallel_stats
+        assert stats.dispatched == 0
+        assert stats.hits_disk == stats.sequents_total

@@ -1,0 +1,159 @@
+"""Regression tests: proof tasks must cross process boundaries safely.
+
+The parallel scheduler pickles :class:`ProofTask` / :class:`Sequent` into
+worker processes and :class:`DispatchResult` back out.  Interned terms
+must *re-intern* on unpickle (so hash-consing invariants -- identity
+equality, O(1) hashes, memoized passes -- hold in the worker), and no
+process-dependent state (such as a cached string hash computed under the
+parent's ``PYTHONHASHSEED``) may survive serialization.
+"""
+
+from __future__ import annotations
+
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.logic import builder as b
+from repro.logic.sorts import INT, OBJ, FunSort, MapSort, SetSort, Sort, TupleSort
+from repro.logic.terms import App, Binder, Const, IntLit, Var
+from repro.provers.dispatch import default_portfolio
+from repro.provers.result import ProofTask
+from repro.suite import all_structures
+from repro.verifier.engine import VerificationEngine
+
+
+def round_trip(value):
+    return pickle.loads(pickle.dumps(value))
+
+
+class TestTermReinterning:
+    def test_every_node_kind_reinterns_to_the_same_object(self):
+        terms = [
+            Var("x", INT),
+            Const("null", OBJ),
+            IntLit(41),
+            b.Bool(True),
+            b.And(b.Lt(b.IntVar("x"), b.Int(3)), b.BoolVar("p")),
+            b.ForAll([b.IntVar("i")], b.Le(b.IntVar("i"), b.IntVar("n"))),
+        ]
+        for term in terms:
+            assert round_trip(term) is term
+
+    def test_reinterned_terms_share_structure(self):
+        # Unpickling a compound term must reuse already-interned subterms,
+        # not build a parallel universe of equal-but-distinct nodes.
+        formula = b.Or(b.Lt(b.IntVar("x"), b.Int(0)), b.Eq(b.IntVar("x"), b.Int(0)))
+        copy = round_trip(formula)
+        assert copy.args[0] is formula.args[0]
+        assert copy.args[0].args[0] is b.IntVar("x")
+
+    def test_composite_sorts_round_trip(self):
+        sorts = [
+            Sort("int"),
+            SetSort(OBJ),
+            MapSort(OBJ, INT),
+            TupleSort((INT, OBJ)),
+            FunSort((OBJ,), INT),
+            SetSort(MapSort(OBJ, SetSort(INT))),
+        ]
+        for sort in sorts:
+            copy = round_trip(sort)
+            assert copy == sort
+            assert hash(copy) == hash(sort)
+
+    def test_sorts_do_not_carry_cached_hashes(self):
+        # The lazily cached ``_hash`` depends on the process's string hash
+        # seed; pickling must rebuild through the constructor and drop it.
+        sort = SetSort(OBJ)
+        hash(sort)  # force the cache on the original
+        assert "_hash" in sort.__dict__
+        assert "_hash" not in round_trip(sort).__dict__
+
+
+class TestTaskPickling:
+    def engine_and_structure(self):
+        engine = VerificationEngine(default_portfolio().scaled(0.4))
+        cls = next(c for c in all_structures() if c.name == "Linked List")
+        return engine, cls
+
+    def test_sequents_and_tasks_round_trip(self):
+        engine, cls = self.engine_and_structure()
+        for method in cls.methods:
+            for sequent in engine.method_sequents(cls, method):
+                task = engine.task_for(sequent)
+                assert round_trip(sequent) == sequent
+                copy = round_trip(task)
+                assert copy == task
+                assert copy.goal is task.goal  # re-interned, not duplicated
+                assert copy.assumptions == task.assumptions
+
+    def test_restricted_task_round_trips(self):
+        task = ProofTask(
+            (("h1", b.Lt(b.IntVar("x"), b.Int(1))), ("h2", b.BoolVar("p"))),
+            b.BoolVar("p"),
+            label="goal",
+        )
+        restricted = task.restricted_to({"h2"})
+        assert round_trip(restricted) == restricted
+
+    def test_dispatch_result_round_trips(self):
+        engine, cls = self.engine_and_structure()
+        method = cls.methods[0]
+        sequent = engine.method_sequents(cls, method)[0]
+        result = engine.portfolio.dispatch(engine.task_for(sequent))
+        copy = round_trip(result)
+        assert copy.proved == result.proved
+        assert copy.refuted == result.refuted
+        assert copy.winning_prover == result.winning_prover
+        assert copy.cached == result.cached
+        assert copy.task == result.task
+        assert [(a.outcome, a.prover) for a in copy.attempts] == [
+            (a.outcome, a.prover) for a in result.attempts
+        ]
+
+
+_CROSS_SEED_SCRIPT = """
+import pickle, sys
+from repro.logic import builder as b
+from repro.provers.cache import task_fingerprint
+with open(sys.argv[1], "rb") as handle:
+    task = pickle.load(handle)
+# Terms must work as dict keys against freshly built equal terms: that is
+# the hash-consing invariant the provers rely on.
+index = {formula: name for name, formula in task.assumptions}
+fresh = b.Lt(b.IntVar("x"), b.Int(1))
+assert index[fresh] == "h1", index
+assert task.goal is b.BoolVar("p")
+print(repr(task_fingerprint(task)))
+"""
+
+
+def test_unpickled_tasks_work_under_a_different_hash_seed(tmp_path):
+    """The regression the parallel workers depend on: a task pickled under
+    one ``PYTHONHASHSEED`` must re-intern (fresh hashes, identity equality)
+    in a process running under another."""
+    task = ProofTask(
+        (("h1", b.Lt(b.IntVar("x"), b.Int(1))), ("h2", b.BoolVar("p"))),
+        b.BoolVar("p"),
+        label="goal",
+    )
+    blob = tmp_path / "task.pickle"
+    blob.write_bytes(pickle.dumps(task))
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    fingerprints = set()
+    for seed in ("1", "7777"):
+        result = subprocess.run(
+            [sys.executable, "-c", _CROSS_SEED_SCRIPT, str(blob)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": src_root, "PYTHONHASHSEED": seed, "PATH": ""},
+        )
+        assert result.returncode == 0, result.stderr
+        fingerprints.add(result.stdout)
+    from repro.provers.cache import task_fingerprint
+
+    fingerprints.add(repr(task_fingerprint(task)) + "\n")
+    assert len(fingerprints) == 1
