@@ -31,12 +31,16 @@ def run_suite(
     cache_dir=None,
     persist: bool = True,
     use_proof_cache: bool = True,
+    suite_schedule: bool = False,
 ):
     """Verify a list of structures on a fresh benchmark-scaled engine.
 
     Shared by the ``--jobs N`` comparison benchmark below and the tier-1
     smoke tests (``tests/test_bench_smoke.py``); returns ``(engine,
     reports)`` so callers can inspect statistics and parallel scheduling.
+    With ``suite_schedule`` the classes are verified as one job graph
+    (:meth:`VerificationEngine.verify_suite`, longest class first) instead
+    of class by class.
     """
     engine = VerificationEngine(
         default_portfolio(with_cache=use_proof_cache).scaled(TIMEOUT_SCALE),
@@ -45,7 +49,11 @@ def run_suite(
         cache_dir=cache_dir,
         persist=persist,
     )
-    reports = [engine.verify_class(cls) for cls in (structures or all_structures())]
+    structures = structures or all_structures()
+    if suite_schedule:
+        reports = engine.verify_suite(structures)
+    else:
+        reports = [engine.verify_class(cls) for cls in structures]
     return engine, reports
 
 
@@ -124,6 +132,29 @@ def test_table1_parallel_jobs(jobs, benchmark):
             sum(report.sequents_proved for report in reports)
             == _PORTFOLIO_TOTALS.sequents_proved
         )
+
+
+@pytest.mark.parametrize("jobs", [2])
+def test_table1_suite_scheduled(jobs, benchmark):
+    """Whole-catalogue suite scheduling (longest class first): one job
+    graph instead of eight per-class pool fills, verdicts identical to the
+    sequential rows."""
+
+    def verify_suite():
+        return run_suite(jobs=jobs, suite_schedule=True)
+
+    engine, reports = benchmark.pedantic(verify_suite, rounds=1, iterations=1)
+    stats = engine.last_suite_stats
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["schedule_order"] = ", ".join(stats.schedule_order)
+    benchmark.extra_info["dispatched"] = stats.dispatched
+    benchmark.extra_info["duplicates_folded"] = stats.duplicates_folded
+    assert stats.dispatched + stats.hits_memory + stats.hits_disk + (
+        stats.duplicates_folded
+    ) == stats.sequents_total
+    by_name = {report.class_name: report for report in reports}
+    for row in _ROWS:
+        assert by_name[row.class_name].verified == row.verified, row.class_name
 
 
 def test_table1_print():

@@ -17,6 +17,10 @@ A cache is attached to one portfolio (fixed prover set and per-prover
 timeouts), so a cached verdict -- including "no prover could do it" -- is
 exactly what re-running the portfolio would produce, modulo timing jitter
 on near-timeout sequents.
+
+:class:`PersistentCacheStore` carries verdicts across runs; its on-disk
+JSON layout, versioning/invalidation rules and ``flock`` merge-save
+protocol are documented normatively in ``docs/cache-format.md``.
 """
 
 from __future__ import annotations
@@ -245,6 +249,12 @@ def fingerprint_from_json(value):
 
 class PersistentCacheStore:
     """Cross-run persistence for :class:`ProofCache` verdicts.
+
+    The on-disk format (field-by-field), the versioning/invalidation
+    matrix and the merge-save locking protocol are specified in
+    ``docs/cache-format.md``; keep that document in sync with any change
+    here (and bump :data:`CACHE_FORMAT_VERSION` /
+    :data:`FINGERPRINT_VERSION` as it prescribes).
 
     The store is a single versioned JSON file under ``directory``.  A store
     is only valid for one portfolio configuration (prover line-up and

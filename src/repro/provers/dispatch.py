@@ -15,6 +15,13 @@ portfolio of this package:
 The dispatcher also implements the paper's *assumption base control*: when a
 proof obligation carries a ``from`` clause (a set of named assumptions), only
 those assumptions are passed to the provers.
+
+Dispatch is split into three phases (cache consult / prover run /
+accounting+store) so the schedulers can distribute them: the per-class
+sharder (:mod:`repro.verifier.parallel`) and the suite-level scheduler
+(:mod:`repro.verifier.scheduler`) run phase 1 and 3 in the parent and
+phase 2 in worker processes rebuilt from :class:`PortfolioSpec`.  The
+end-to-end picture lives in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

@@ -12,7 +12,14 @@ from .linked_structures import (
     build_linked_list,
 )
 
-__all__ = ["all_structures", "structure_by_name", "STRUCTURE_ORDER"]
+__all__ = [
+    "all_structures",
+    "structure_by_name",
+    "STRUCTURE_ORDER",
+    "CLASS_COST_HINTS",
+    "DEFAULT_COST_HINT",
+    "cost_hint",
+]
 
 #: Table order used by the paper (most complex first).
 STRUCTURE_ORDER = (
@@ -25,6 +32,32 @@ STRUCTURE_ORDER = (
     "Association List",
     "Linked List",
 )
+
+#: Relative single-run verification cost per class (measured seconds on the
+#: reference container at benchmark-scaled timeouts).  The suite scheduler
+#: (:mod:`repro.verifier.scheduler`) dispatches shards longest-class-first
+#: using these hints so the expensive classes cannot serialize the tail of a
+#: whole-catalog run.  Only the *ordering* matters for correctness; stale
+#: absolute numbers merely cost a little load balance.
+CLASS_COST_HINTS: dict[str, float] = {
+    "Priority Queue": 17.0,
+    "Hash Table": 12.0,
+    "Binary Tree": 10.0,
+    "Association List": 6.5,
+    "Circular List": 1.2,
+    "Linked List": 0.6,
+    "Array List": 0.4,
+    "Cursor List": 0.3,
+}
+
+#: Scheduling cost assumed for classes without a measured hint (a mid-pack
+#: value: unknown work should start neither first nor last).
+DEFAULT_COST_HINT = 5.0
+
+
+def cost_hint(name: str) -> float:
+    """The scheduling cost hint for class ``name`` (see CLASS_COST_HINTS)."""
+    return CLASS_COST_HINTS.get(name, DEFAULT_COST_HINT)
 
 
 @lru_cache(maxsize=1)

@@ -1,15 +1,19 @@
-"""The end-to-end verification engine, reporting and statistics."""
+"""The end-to-end verification engine, scheduling, serving and reporting."""
 
+from .daemon import DaemonClient, DaemonError, VerifierDaemon
 from .engine import ClassReport, MethodReport, SequentOutcome, VerificationEngine
-from .parallel import ParallelRunStats, WorkerLoad, verify_class_parallel
+from .parallel import ParallelRunStats, ProverPool, WorkerLoad, verify_class_parallel
 from .report import (
     Table1Row,
     Table2Row,
+    format_suite,
     format_table1,
     format_table2,
+    format_verify,
     table1_rows,
     table2_rows,
 )
+from .scheduler import ClassScheduleStats, SuiteRunStats, verify_suite
 from .stats import ClassStatistics, class_statistics
 from .strip import strip_proofs_from_class, strip_proofs_from_method
 

@@ -5,13 +5,22 @@ Subcommands::
     jahob-py list                 list the benchmark data structures
     jahob-py verify <name>        verify one data structure (add --no-proofs
                                   to strip the proof language constructs)
-    jahob-py table1               regenerate Table 1
+    jahob-py table1               regenerate Table 1 (suite-scheduled when
+                                  --jobs > 1; see --schedule)
     jahob-py table2               regenerate Table 2 (slow: verifies twice)
+    jahob-py serve                run the warm verification daemon on a
+                                  unix socket (see --socket)
+    jahob-py shutdown             stop a daemon (requires --connect)
+
+With ``--connect PATH`` the ``list`` / ``verify`` / ``table1`` commands are
+served by a running daemon (``jahob-py serve``) instead of a cold local
+engine; the printed output is identical.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 
 from ..provers.dispatch import default_portfolio
@@ -19,24 +28,31 @@ from .engine import VerificationEngine
 from .report import (
     format_parallel,
     format_performance,
+    format_suite,
     format_table1,
     format_table2,
+    format_verify,
     table1_rows,
     table2_rows,
 )
 
+__all__ = ["main"]
+
+#: Default unix-socket path for ``serve`` / ``--connect``.
+DEFAULT_SOCKET = ".jahob.sock"
+
 
 def _print_perf(engine: VerificationEngine) -> None:
     print(format_performance(portfolio=engine.portfolio))
-    if engine.parallel_stats_total is not None:
+    if engine.last_suite_stats is not None:
+        print(format_suite(engine.last_suite_stats))
+    elif engine.parallel_stats_total is not None:
         print(format_parallel(engine.parallel_stats_total))
     if engine.persistent_store is not None:
         print(
             f"Persistent cache: {engine.persistent_store.path} "
             f"({engine.persistent_store.last_load_status})"
         )
-
-__all__ = ["main"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -81,6 +97,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --cache-dir: read the persistent cache but do not write it back",
     )
+    parser.add_argument(
+        "--schedule",
+        choices=("suite", "class"),
+        default="suite",
+        help="with --jobs > 1, how table1 shards work: 'suite' plans the whole "
+        "catalogue as one job graph (longest class first), 'class' shards "
+        "each class separately; verdicts are identical either way",
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="SOCKET",
+        help="serve list/verify/table1/shutdown through the daemon listening "
+        "on this unix socket instead of a cold local engine",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list benchmark data structures")
     verify = subparsers.add_parser("verify", help="verify one data structure")
@@ -92,12 +123,160 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers.add_parser("table1", help="regenerate Table 1")
     subparsers.add_parser("table2", help="regenerate Table 2")
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the warm verification daemon (keeps worker pool and "
+        "caches alive across --connect requests)",
+    )
+    serve.add_argument(
+        "--socket",
+        default=DEFAULT_SOCKET,
+        metavar="PATH",
+        help=f"unix socket to listen on (default: {DEFAULT_SOCKET})",
+    )
+    subparsers.add_parser(
+        "shutdown",
+        help="flush the daemon's caches and stop it (requires --connect)",
+    )
     return parser
 
 
+#: Flags that configure the local engine, as ``(flag, dest)`` pairs.  The
+#: daemon paths warn when one of these is passed but cannot take effect;
+#: non-default detection compares against the parser's own defaults so a
+#: new flag only needs to be added here, not re-described.
+_ENGINE_FLAGS = (
+    ("--timeout-scale", "timeout_scale"),
+    ("--no-cache", "no_cache"),
+    ("--jobs", "jobs"),
+    ("--cache-dir", "cache_dir"),
+    ("--no-persist", "no_persist"),
+    ("--schedule", "schedule"),
+    ("--perf", "perf"),
+)
+
+
+def _non_default_flags(
+    parser: argparse.ArgumentParser,
+    args: argparse.Namespace,
+    flags=_ENGINE_FLAGS,
+) -> list[str]:
+    return [
+        flag
+        for flag, dest in flags
+        if getattr(args, dest) != parser.get_default(dest)
+    ]
+
+
+def _run_connected(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Serve the command through a running daemon (``--connect``)."""
+    from .daemon import DaemonClient, DaemonError
+
+    # Engine configuration lives in the daemon: flags that would rebuild
+    # the engine locally cannot be forwarded, so say so instead of
+    # silently serving with the daemon's configuration.
+    dropped = _non_default_flags(parser, args)
+    if dropped:
+        print(
+            f"warning: {', '.join(dropped)} ignored with --connect; "
+            "the daemon keeps the engine configuration it was started with",
+            file=sys.stderr,
+        )
+    client = DaemonClient(args.connect)
+    if args.command == "list":
+        request = {"op": "list"}
+    elif args.command == "verify":
+        request = {"op": "verify", "name": args.name, "strip": args.no_proofs}
+    elif args.command == "table1":
+        request = {"op": "table1"}
+    elif args.command == "shutdown":
+        request = {"op": "shutdown"}
+    else:
+        print(f"--connect does not support {args.command!r}", file=sys.stderr)
+        return 2
+    try:
+        response = client.request(request)
+    except DaemonError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not response.get("ok"):
+        print(f"daemon error: {response.get('error')}", file=sys.stderr)
+        return 2
+    if args.command == "list":
+        for name in response["structures"]:
+            print(name)
+        return 0
+    if args.command == "shutdown":
+        print(
+            f"daemon stopped ({response.get('cache_entries', 0)} cached verdicts)"
+        )
+        return 0
+    print(response["output"])
+    return int(response.get("exit", 0))
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the warm daemon until SIGINT/SIGTERM or a ``shutdown`` request."""
+    from .daemon import DaemonError, VerifierDaemon
+
+    daemon = VerifierDaemon(
+        args.socket,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        persist=not args.no_persist,
+        use_proof_cache=not args.no_cache,
+        timeout_scale=args.timeout_scale,
+    )
+    try:
+        # Pool first, then listener, for the fd-inheritance reasons
+        # documented on VerifierDaemon.serve_forever.
+        daemon.engine.warm_pool()
+        daemon.bind()
+    except DaemonError as exc:
+        print(str(exc), file=sys.stderr)
+        daemon.close()
+        return 2
+    previous = signal.signal(signal.SIGTERM, lambda *_: daemon.stop())
+    print(f"jahob-py daemon listening on {daemon.socket_path}", flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.close()
+        signal.signal(signal.SIGTERM, previous)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
     from ..suite.catalog import all_structures, structure_by_name
+
+    if args.command == "serve":
+        if args.connect is not None:
+            print(
+                "serve starts a daemon and cannot itself use --connect",
+                file=sys.stderr,
+            )
+            return 2
+        dropped = _non_default_flags(
+            parser,
+            args,
+            [pair for pair in _ENGINE_FLAGS if pair[0] in ("--perf", "--schedule")],
+        )
+        if dropped:
+            print(
+                f"warning: {', '.join(dropped)} ignored with serve; "
+                "use the daemon's stats op for counters",
+                file=sys.stderr,
+            )
+        return _run_serve(args)
+    if args.connect is not None:
+        return _run_connected(parser, args)
+    if args.command == "shutdown":
+        print("shutdown requires --connect SOCKET", file=sys.stderr)
+        return 2
 
     portfolio = default_portfolio(with_cache=not args.no_cache)
     portfolio = portfolio.scaled(args.timeout_scale)
@@ -117,26 +296,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "verify":
         cls = structure_by_name(args.name)
         report = engine.verify_class(cls, strip_proofs=args.no_proofs)
-        for method_report in report.methods:
-            status = "ok" if method_report.verified else "FAILED"
-            print(
-                f"{cls.name}.{method_report.method_name}: "
-                f"{method_report.sequents_proved}/{method_report.sequents_total} "
-                f"sequents ({method_report.elapsed:.1f}s) {status}"
-            )
-            for outcome in method_report.failed_sequents:
-                print(f"    failed: {outcome.sequent.label}")
-        print(
-            f"total: {report.sequents_proved}/{report.sequents_total} sequents, "
-            f"{report.methods_verified}/{report.methods_total} methods, "
-            f"{report.elapsed:.1f}s"
-        )
+        print(format_verify(report))
         if args.perf:
             _print_perf(engine)
         return 0 if report.verified else 1
 
     if args.command == "table1":
-        rows = table1_rows(all_structures(), engine)
+        classes = all_structures()
+        if args.jobs > 1 and args.schedule == "suite":
+            reports = engine.verify_suite(classes)
+            rows = table1_rows(classes, reports=reports)
+        else:
+            rows = table1_rows(classes, engine)
         print(format_table1(rows))
         if args.perf:
             print()

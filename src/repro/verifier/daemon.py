@@ -1,0 +1,500 @@
+"""Warm verification daemon: a unix-socket server that keeps the engine hot.
+
+Every one-shot CLI invocation pays cold start: importing the package,
+building the catalogue, parsing the persistent cache, and -- for parallel
+runs -- forking a worker pool, all before the first sequent is answered.
+:class:`VerifierDaemon` amortizes that across requests: one long-lived
+:class:`~repro.verifier.engine.VerificationEngine` (with
+``keep_pool_warm=True``) holds the process pool, the in-memory
+:class:`~repro.provers.cache.ProofCache` and the persistent store open, so
+a repeat verification is answered from warm caches in milliseconds.
+
+Protocol
+--------
+
+Newline-delimited JSON over an ``AF_UNIX`` stream socket, one request per
+connection: the client sends a single JSON object terminated by ``"\\n"``,
+the server replies with a single JSON object and closes the connection.
+Every response carries ``"ok"`` (bool) and, on failure, ``"error"``.
+Supported ``"op"`` values:
+
+============  =========================================================
+``ping``      liveness: pid, uptime, requests served
+``list``      catalogue names
+``verify``    ``{"name": ..., "strip": bool}`` -- one class; the
+              ``output`` field is exactly what a local ``jahob-py
+              verify`` prints, plus a structured per-sequent ``report``
+``suite``     ``{"names": [...]?}`` -- suite-scheduled run
+              (:mod:`repro.verifier.scheduler`); full catalogue when
+              ``names`` is omitted
+``table1``    suite-scheduled full catalogue, rendered as Table 1
+``stats``     engine counters (:meth:`PerformanceCounters.as_dict`)
+``shutdown``  flush the persistent cache and stop the server
+============  =========================================================
+
+Shutdown is graceful in all paths -- the ``shutdown`` op, ``SIGTERM`` /
+``SIGINT`` under ``jahob-py serve``, or :meth:`VerifierDaemon.stop` from a
+controlling thread: the accept loop drains, the persistent cache is
+flushed, the engine's warm pool is closed, and the socket file is removed.
+
+Clients use :class:`DaemonClient` (the CLI's ``--connect`` flag); the
+``output`` field of a response is printed verbatim, so daemon-served runs
+are textually identical to local ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import stat
+import time
+from pathlib import Path
+
+from ..provers.dispatch import default_portfolio
+from ..suite.catalog import all_structures, structure_by_name
+from .engine import ClassReport, VerificationEngine
+from .report import format_suite, format_table1, format_verify, table1_rows
+from .stats import performance_counters
+
+__all__ = ["PROTOCOL_VERSION", "DaemonError", "VerifierDaemon", "DaemonClient"]
+
+#: Bumped on incompatible protocol changes; ``ping`` reports it so clients
+#: can refuse to talk to a daemon from another era.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request line; a unix-socket peer is trusted, but a
+#: corrupt client must not make the daemon buffer without bound.
+_MAX_REQUEST_BYTES = 1 << 20
+
+#: Socket-I/O deadline for reading a request line and writing a response.
+#: The daemon serves one connection at a time, so a peer that connects and
+#: then goes silent must not park the accept loop forever.  Request
+#: *handling* (proving) runs between the two I/O phases with no deadline.
+_IO_TIMEOUT = 30.0
+
+
+class DaemonError(RuntimeError):
+    """Raised by :class:`DaemonClient` when the daemon cannot be reached
+    or returns a malformed response, and server-side for protocol
+    violations (an oversized request) that still get an error response."""
+
+
+def _read_line(sock: socket.socket, limit: int | None = None) -> bytes:
+    """Read one newline-delimited protocol line (the framing both sides
+    share).
+
+    Stops at the first ``"\\n"`` -- NOT at EOF, which on the client side
+    may only arrive long after the response (worker processes forked
+    while a request is in flight inherit the accepted connection fd).
+    EOF before the delimiter returns whatever arrived; exceeding
+    ``limit`` bytes raises :class:`DaemonError`.
+    """
+    chunks = []
+    total = 0
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        total += len(chunk)
+        if limit is not None and total > limit:
+            raise DaemonError("request too large")
+        if b"\n" in chunk:
+            break
+    return b"".join(chunks).split(b"\n", 1)[0]
+
+
+def _report_payload(report: ClassReport) -> dict:
+    """A JSON-ready per-sequent view of one class report (for clients that
+    want structure instead of the formatted text)."""
+    return {
+        "class": report.class_name,
+        "verified": report.verified,
+        "methods_total": report.methods_total,
+        "methods_verified": report.methods_verified,
+        "sequents_total": report.sequents_total,
+        "sequents_proved": report.sequents_proved,
+        "elapsed": report.elapsed,
+        "methods": [
+            {
+                "method": method.method_name,
+                "verified": method.verified,
+                "outcomes": [
+                    {
+                        "label": outcome.sequent.label,
+                        "proved": outcome.proved,
+                        "refuted": outcome.dispatch.refuted,
+                        "prover": outcome.prover,
+                        "cached": outcome.dispatch.cached,
+                        "origin": outcome.dispatch.cache_origin,
+                    }
+                    for outcome in method.outcomes
+                ],
+            }
+            for method in report.methods
+        ],
+    }
+
+
+class VerifierDaemon:
+    """Serve verification requests over a unix socket with warm state.
+
+    Either pass a ready :class:`VerificationEngine` or let the daemon build
+    one from ``jobs`` / ``cache_dir`` / ``persist`` / ``use_proof_cache`` /
+    ``timeout_scale`` (the same knobs the CLI exposes).  The engine is
+    always put into ``keep_pool_warm`` mode: the worker pool survives
+    between requests, which is the whole point of the daemon.
+    :meth:`serve_forever` forks that pool before accepting the first
+    connection, so no request pays pool start-up or leaks its connection
+    fd into a worker.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | Path,
+        engine: VerificationEngine | None = None,
+        *,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        persist: bool = True,
+        use_proof_cache: bool = True,
+        timeout_scale: float = 1.0,
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        if engine is None:
+            portfolio = default_portfolio(with_cache=use_proof_cache)
+            if timeout_scale != 1.0:
+                portfolio = portfolio.scaled(timeout_scale)
+            engine = VerificationEngine(
+                portfolio,
+                use_proof_cache=use_proof_cache,
+                jobs=jobs,
+                cache_dir=cache_dir,
+                persist=persist,
+            )
+        engine.keep_pool_warm = True
+        self.engine = engine
+        self.requests_served = 0
+        self.started_at = time.monotonic()
+        self._stopping = False
+        self._server: socket.socket | None = None
+        self._bound = False  # whether *we* own the socket file
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    def bind(self) -> None:
+        """Create and bind the listening socket (idempotent)."""
+        if self._server is not None:
+            return
+        # A stale socket file from a crashed daemon: refuse to steal a
+        # *live* daemon's address, silently replace a dead one's -- and
+        # never delete something that is not a socket at all (e.g. a
+        # mistyped --socket pointing at a real file).  A FileNotFoundError
+        # from stat() means a racing daemon just cleaned the path up.
+        try:
+            mode = self.socket_path.stat().st_mode
+        except FileNotFoundError:
+            mode = None
+        if mode is not None:
+            if not stat.S_ISSOCK(mode):
+                raise DaemonError(
+                    f"{self.socket_path} exists and is not a socket; "
+                    "refusing to replace it"
+                )
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.settimeout(1.0)
+                probe.connect(str(self.socket_path))
+            except ConnectionRefusedError:
+                # Nobody behind the file: a crashed daemon's leftovers.
+                self.socket_path.unlink(missing_ok=True)
+            except OSError as exc:
+                # Anything ambiguous (e.g. a timeout because the daemon is
+                # busy with a long request and its backlog is full) must
+                # not cost a live daemon its address.
+                raise DaemonError(
+                    f"cannot tell whether a daemon is live on "
+                    f"{self.socket_path} ({exc}); not replacing it"
+                ) from exc
+            else:
+                raise DaemonError(
+                    f"another daemon is already listening on {self.socket_path}"
+                )
+            finally:
+                probe.close()
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+            server.bind(str(self.socket_path))
+            server.listen(8)
+        except OSError as exc:
+            # EADDRINUSE from a concurrent bind race, an unwritable
+            # directory, ...: a clean error beats a traceback.
+            server.close()
+            raise DaemonError(
+                f"cannot bind {self.socket_path}: {exc}"
+            ) from exc
+        # A finite accept timeout keeps the loop responsive to stop();
+        # requests themselves are served without a deadline (proving is
+        # slow by design).
+        server.settimeout(0.2)
+        self._server = server
+        self._bound = True
+
+    def serve_forever(self) -> None:
+        """Bind (if needed) and serve until :meth:`stop` or a ``shutdown`` op.
+
+        Always tears down gracefully: the persistent cache is flushed, the
+        warm pool is closed and the socket file is removed, even when the
+        loop exits via an exception (e.g. ``KeyboardInterrupt``).
+        """
+        try:
+            # Fork the worker pool before the listening socket even
+            # exists: workers forked after bind would inherit the
+            # listener's fd (orphans after a crash keep the address alive
+            # and block stale-socket takeover), workers forked mid-request
+            # would inherit the accepted connection fd, and the first
+            # request would pay pool start-up.
+            self.engine.warm_pool()
+            self.bind()
+            while not self._stopping:
+                # Local alias: a concurrent close() nulls self._server, and
+                # the loop must see either the live socket (whose close()
+                # surfaces here as OSError) or exit -- never an attribute
+                # load on None.
+                server = self._server
+                if server is None:
+                    break
+                try:
+                    connection, _ = server.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    if self._stopping:
+                        break
+                    raise
+                with connection:
+                    self._serve_connection(connection)
+        finally:
+            self.close()
+
+    def stop(self) -> None:
+        """Ask the accept loop to exit after the in-flight request."""
+        self._stopping = True
+
+    def close(self) -> None:
+        """Flush caches, close the warm pool, remove the socket file.
+
+        Only unlinks the socket file when this instance actually bound it
+        -- closing a daemon whose :meth:`bind` failed must never delete a
+        live daemon's address.
+        """
+        self._stopping = True
+        # Unlink before closing the listening socket: the reverse order
+        # has a window where a new daemon sees the probe refused, takes
+        # over the path, and then loses its fresh socket file to our
+        # unlink.
+        if self._bound:
+            self._bound = False
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        self.engine.close()
+
+    # -- one request -------------------------------------------------------------
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        connection.settimeout(_IO_TIMEOUT)
+        try:
+            try:
+                raw = self._recv_line(connection)
+                request = json.loads(raw.decode("utf-8"))
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except DaemonError as exc:
+                # Protocol violation (oversized request): still answer,
+                # so the client can tell it from a daemon crash.
+                response = {"ok": False, "error": str(exc)}
+            except (ValueError, UnicodeDecodeError) as exc:
+                response = {"ok": False, "error": f"bad request: {exc}"}
+            else:
+                response = self.handle(request)
+            connection.sendall(
+                json.dumps(response, separators=(",", ":")).encode("utf-8") + b"\n"
+            )
+        except OSError:
+            # A client that hung up mid-request costs us nothing; the
+            # daemon must outlive its clients.
+            pass
+
+    @staticmethod
+    def _recv_line(connection: socket.socket) -> bytes:
+        return _read_line(connection, limit=_MAX_REQUEST_BYTES)
+
+    # -- request handling ---------------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Execute one request object and return the response object.
+
+        Exposed directly (besides the socket loop) so tests can exercise
+        op semantics without a live socket.
+        """
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        self.requests_served += 1
+        start = time.monotonic()
+        try:
+            response = handler(request)
+        except Exception as exc:  # noqa: BLE001 - the daemon must survive any op
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        response.setdefault("ok", True)
+        response["elapsed"] = time.monotonic() - start
+        return response
+
+    def _op_ping(self, request: dict) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "uptime": time.monotonic() - self.started_at,
+            "requests": self.requests_served,
+        }
+
+    def _op_list(self, request: dict) -> dict:
+        return {"structures": [cls.name for cls in all_structures()]}
+
+    def _op_verify(self, request: dict) -> dict:
+        name = request.get("name")
+        if not isinstance(name, str):
+            return {"ok": False, "error": "verify needs a 'name' string"}
+        cls = structure_by_name(name)
+        report = self.engine.verify_class(
+            cls, strip_proofs=bool(request.get("strip", False))
+        )
+        return {
+            "output": format_verify(report),
+            "exit": 0 if report.verified else 1,
+            "report": _report_payload(report),
+        }
+
+    def _suite_reports(self, request: dict) -> list[ClassReport]:
+        names = request.get("names")
+        if names is None:
+            classes = all_structures()
+        else:
+            classes = [structure_by_name(name) for name in names]
+        return self.engine.verify_suite(classes)
+
+    def _op_suite(self, request: dict) -> dict:
+        reports = self._suite_reports(request)
+        stats = self.engine.last_suite_stats
+        return {
+            "output": format_suite(stats),
+            "exit": 0 if all(report.verified for report in reports) else 1,
+            "reports": [_report_payload(report) for report in reports],
+        }
+
+    def _op_table1(self, request: dict) -> dict:
+        # Always the full catalogue ("names" is not honoured: a table with
+        # holes is not Table 1).
+        reports = self._suite_reports({})
+        rows = table1_rows(all_structures(), reports=reports)
+        # Like the local CLI, generating the table is the success criterion
+        # (unverified classes are visible in the table itself).
+        return {"output": format_table1(rows), "exit": 0}
+
+    def _op_stats(self, request: dict) -> dict:
+        counters = performance_counters(self.engine.portfolio)
+        response = {
+            "counters": counters.as_dict(),
+            "cache_entries": (
+                len(self.engine.portfolio.proof_cache)
+                if self.engine.portfolio.proof_cache is not None
+                else 0
+            ),
+            "pool_warm": self.engine.pool_warm,
+        }
+        if self.engine.persistent_store is not None:
+            response["persistent_cache"] = {
+                "path": str(self.engine.persistent_store.path),
+                "status": self.engine.persistent_store.last_load_status,
+            }
+        return response
+
+    def _op_shutdown(self, request: dict) -> dict:
+        # ``flushed`` is the delta written *now* (usually 0: verify ops
+        # flush as they go); ``cache_entries`` is the total warm state.
+        flushed = self.engine.flush_persistent_cache()
+        cache = self.engine.portfolio.proof_cache
+        self.stop()
+        return {
+            "flushed": flushed,
+            "cache_entries": len(cache) if cache is not None else 0,
+        }
+
+
+class DaemonClient:
+    """Talk to a :class:`VerifierDaemon` over its unix socket.
+
+    One request per connection, mirroring the server.  ``timeout`` bounds
+    the *connect* phase only; a verification request may legitimately run
+    for minutes, so reads wait indefinitely once connected.
+    """
+
+    def __init__(self, socket_path: str | Path, connect_timeout: float = 5.0) -> None:
+        self.socket_path = Path(socket_path)
+        self.connect_timeout = connect_timeout
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object and return the parsed response object."""
+        client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            client.settimeout(self.connect_timeout)
+            try:
+                client.connect(str(self.socket_path))
+            except OSError as exc:
+                raise DaemonError(
+                    f"cannot connect to daemon at {self.socket_path}: {exc}"
+                ) from exc
+            client.settimeout(None)
+            try:
+                client.sendall(
+                    json.dumps(payload, separators=(",", ":")).encode("utf-8")
+                    + b"\n"
+                )
+                client.shutdown(socket.SHUT_WR)
+                raw = _read_line(client)
+            except OSError as exc:
+                # E.g. the daemon shut down between our connect and send.
+                raise DaemonError(
+                    f"lost connection to daemon at {self.socket_path}: {exc}"
+                ) from exc
+        finally:
+            client.close()
+        if not raw:
+            raise DaemonError("daemon closed the connection without a response")
+        try:
+            response = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise DaemonError(f"malformed daemon response: {exc}") from exc
+        if not isinstance(response, dict):
+            raise DaemonError("malformed daemon response: not an object")
+        return response
+
+    # Small conveniences used by the CLI and the tests.
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})

@@ -141,6 +141,13 @@ class VerificationEngine:
     ``persist`` is False -- written back atomically after every
     :meth:`verify_class`, so repeated runs of an unchanged suite are
     answered almost entirely from disk.
+
+    ``keep_pool_warm`` keeps the worker pool alive between verification
+    calls (the daemon, :mod:`repro.verifier.daemon`, sets it so repeat
+    requests skip pool start-up); without it each parallel run tears its
+    pool down afterwards, as before.  Engines are context managers:
+    leaving the ``with`` block calls :meth:`close`, which flushes the
+    persistent cache and shuts any warm pool down.
     """
 
     def __init__(
@@ -153,6 +160,7 @@ class VerificationEngine:
         jobs: int = 1,
         cache_dir: str | Path | None = None,
         persist: bool = True,
+        keep_pool_warm: bool = False,
     ) -> None:
         if portfolio is None:
             portfolio = default_portfolio(with_cache=use_proof_cache)
@@ -169,12 +177,17 @@ class VerificationEngine:
         self.runtime_checks = runtime_checks
         self.jobs = max(1, int(jobs))
         self.persist = persist
+        self.keep_pool_warm = keep_pool_warm
         self.persistent_store: PersistentCacheStore | None = None
         #: :class:`~repro.verifier.parallel.ParallelRunStats` of the most
         #: recent parallel ``verify_class`` call (None after sequential runs).
         self.last_parallel_stats = None
         #: Aggregate of every parallel run this engine performed.
         self.parallel_stats_total = None
+        #: :class:`~repro.verifier.scheduler.SuiteRunStats` of the most
+        #: recent :meth:`verify_suite` call.
+        self.last_suite_stats = None
+        self._pool = None
         self._flushed_mutations = 0
         if cache_dir is not None and self.portfolio.proof_cache is not None:
             spec = PortfolioSpec.from_portfolio(self.portfolio)
@@ -259,8 +272,106 @@ class VerificationEngine:
             for method in target.methods:
                 report.methods.append(self.verify_method(target, method))
             self.last_parallel_stats = None
+        self.last_suite_stats = None
         self.flush_persistent_cache()
         return report
+
+    def verify_suite(
+        self,
+        classes: list[ClassModel] | None = None,
+        jobs: int | None = None,
+    ) -> list["ClassReport"]:
+        """Verify several classes as one scheduled job graph.
+
+        Plans the whole suite up front and interleaves every class's
+        cache-missing sequents across one worker pool, longest class first
+        (:mod:`repro.verifier.scheduler`).  ``classes`` defaults to the
+        full benchmark catalogue; ``jobs`` overrides the engine setting.
+        Returns one :class:`ClassReport` per class, in input order, with
+        verdicts, attribution and counters identical to calling
+        :meth:`verify_class` on each class in that order.
+        """
+        from .scheduler import verify_suite as _verify_suite
+
+        if classes is None:
+            from ..suite.catalog import all_structures
+
+            classes = all_structures()
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        reports, run_stats = _verify_suite(self, classes, jobs)
+        self.last_suite_stats = run_stats
+        self.last_parallel_stats = None
+        self.flush_persistent_cache()
+        return reports
+
+    # -- worker-pool management -----------------------------------------------------
+
+    def acquire_pool(self, spec, jobs: int, shard_size: int | None = None):
+        """A :class:`~repro.verifier.parallel.ProverPool` for one run.
+
+        With ``keep_pool_warm`` the engine caches the pool and hands the
+        same (possibly already started) instance back for every matching
+        run; otherwise a fresh per-run pool is returned, sized down to
+        ``shard_size`` so small shards don't fork idle workers.  Pass the
+        pool to :meth:`release_pool` when the run is done.
+        """
+        from .parallel import ProverPool
+
+        if self.keep_pool_warm:
+            if self._pool is not None and not self._pool.matches(spec, jobs):
+                self._pool.close()
+                self._pool = None
+            if self._pool is None:
+                self._pool = ProverPool(spec, jobs)
+            return self._pool
+        if shard_size is not None:
+            jobs = min(jobs, shard_size)
+        return ProverPool(spec, jobs)
+
+    @property
+    def pool_warm(self) -> bool:
+        """Whether a warm worker pool is currently forked."""
+        return self._pool is not None and self._pool.started
+
+    def warm_pool(self) -> None:
+        """Fork the warm worker pool up front.
+
+        The daemon calls this before it starts accepting connections, so
+        no worker is ever forked while a request (whose connection fd the
+        fork would inherit) is in flight, and no request pays pool
+        start-up.  No-op for sequential engines or without
+        ``keep_pool_warm``.
+        """
+        if self.jobs <= 1 or not self.keep_pool_warm or self.pool_warm:
+            return
+        spec = PortfolioSpec.from_portfolio(self.portfolio)
+        self.acquire_pool(spec, self.jobs).warm_up()
+
+    def release_pool(self, pool, broken: bool = False) -> None:
+        """Close ``pool`` unless it is the engine's (healthy) warm pool.
+
+        ``broken`` forces the close even for the warm pool -- a dead
+        executor must be discarded so the next run forks a fresh one
+        instead of failing forever.
+        """
+        if pool is self._pool:
+            if not broken:
+                return
+            self._pool = None
+        pool.close(cancel_futures=broken)
+
+    def close(self) -> None:
+        """Flush the persistent cache and shut down any warm worker pool."""
+        self.flush_persistent_cache()
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "VerificationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- persistence ---------------------------------------------------------------
 

@@ -34,13 +34,21 @@ order the sequential engine would use:
 Because the parent owns the cache, there is exactly one writer for the
 persistent store and workers stay read-free; a fully warm run dispatches
 nothing and never even spawns the pool.
+
+The phases are exposed as free functions (:func:`plan_class`,
+:func:`run_shard`, :func:`resolve_shard`, :func:`resolve_duplicates`,
+:func:`build_class_report`) so the suite-level scheduler
+(:mod:`repro.verifier.scheduler`) can plan *several* classes into one shard
+before dispatching anything.  :class:`ProverPool` wraps the executor so the
+daemon (:mod:`repro.verifier.daemon`) can keep workers warm across
+requests.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
 from ..frontend.ast import ClassModel
@@ -48,7 +56,17 @@ from ..provers.dispatch import DispatchResult, PortfolioSpec, ProverPortfolio
 from ..provers.result import ProofTask
 from ..vcgen.sequent import Sequent
 
-__all__ = ["ParallelRunStats", "WorkerLoad", "verify_class_parallel"]
+__all__ = [
+    "ParallelRunStats",
+    "WorkerLoad",
+    "ProverPool",
+    "plan_class",
+    "run_shard",
+    "resolve_shard",
+    "resolve_duplicates",
+    "build_class_report",
+    "verify_class_parallel",
+]
 
 
 @dataclass
@@ -77,6 +95,15 @@ class ParallelRunStats:
     def prover_time(self) -> float:
         return sum(load.prover_time for load in self.workers)
 
+    def fold_worker(self, pid: int, tasks: int, prover_time: float) -> None:
+        """Accumulate one worker's load (matching by pid)."""
+        for load in self.workers:
+            if load.pid == pid:
+                load.tasks += tasks
+                load.prover_time += prover_time
+                return
+        self.workers.append(WorkerLoad(pid, tasks, prover_time))
+
     def merge(self, other: "ParallelRunStats") -> None:
         """Fold another run's numbers in (used across classes of a suite)."""
         self.sequents_total += other.sequents_total
@@ -85,15 +112,8 @@ class ParallelRunStats:
         self.hits_memory += other.hits_memory
         self.duplicates_folded += other.duplicates_folded
         self.wall_time += other.wall_time
-        mine = {load.pid: load for load in self.workers}
         for load in other.workers:
-            merged = mine.get(load.pid)
-            if merged is None:
-                merged = WorkerLoad(load.pid)
-                mine[load.pid] = merged
-                self.workers.append(merged)
-            merged.tasks += load.tasks
-            merged.prover_time += load.prover_time
+            self.fold_worker(load.pid, load.tasks, load.prover_time)
 
 
 @dataclass
@@ -128,26 +148,107 @@ def _dispatch_in_worker(item: tuple[int, ProofTask]):
     return index, os.getpid(), time.monotonic() - start, result
 
 
-def verify_class_parallel(engine, target: ClassModel, jobs: int):
-    """Verify every method of ``target`` with ``jobs`` worker processes.
+class ProverPool:
+    """A worker pool bound to one portfolio spec, reusable across runs.
 
-    Returns ``(ClassReport, ParallelRunStats)``.  Verdicts, prover
-    attribution and portfolio statistics are identical to the sequential
-    :meth:`~repro.verifier.engine.VerificationEngine.verify_class` path
-    (modulo timing jitter on near-timeout sequents, which both paths share).
+    The underlying ``ProcessPoolExecutor`` is created lazily on the first
+    :meth:`run` call, so a fully warm verification (everything answered
+    from the cache) never forks at all.  The engine hands these out via
+    :meth:`~repro.verifier.engine.VerificationEngine.acquire_pool`: per-call
+    pools are closed after each run, while the daemon's warm engine keeps
+    one pool alive across requests so repeat verifications skip pool
+    start-up entirely.
     """
-    # Imported here: engine.py imports this module lazily and vice versa.
-    from .engine import ClassReport, MethodReport, SequentOutcome
 
+    def __init__(self, spec: PortfolioSpec, jobs: int) -> None:
+        self.spec = spec
+        self.jobs = max(1, int(jobs))
+        self._executor: ProcessPoolExecutor | None = None
+
+    def matches(self, spec: PortfolioSpec, jobs: int) -> bool:
+        """Whether this pool can serve a run with ``spec`` and ``jobs``."""
+        return self.spec == spec and self.jobs == max(1, int(jobs))
+
+    @property
+    def started(self) -> bool:
+        return self._executor is not None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(self.spec,),
+            )
+        return self._executor
+
+    def warm_up(self) -> None:
+        """Fork every worker process now instead of on first dispatch.
+
+        The daemon calls this before accepting connections: a worker
+        forked while a request is being served inherits the accepted
+        connection fd (keeping the client's socket open after the parent
+        closes it), and the first request would pay pool start-up.  The
+        executor forks on demand, one worker per outstanding task, so each
+        sleep parks one worker long enough that all of them spawn.
+        """
+        executor = self._ensure_executor()
+        futures = [executor.submit(time.sleep, 0.2) for _ in range(self.jobs)]
+        for future in futures:
+            future.result()
+
+    def run(self, items: list[tuple[int, ProofTask]]):
+        """Dispatch ``(index, task)`` pairs; yields ``(index, pid, wall, result)``.
+
+        Items are *dispatched* in the order given, which is what lets the
+        suite scheduler steer longest-class-first, but yielded in
+        completion order: a straggler at the front must not hold back
+        verdicts that already finished (the scheduler checkpoints them to
+        the persistent store as they arrive).  Callers index by the
+        yielded shard position, so consumption order carries no meaning.
+        """
+        executor = self._ensure_executor()
+        futures = [executor.submit(_dispatch_in_worker, item) for item in items]
+        for future in as_completed(futures):
+            yield future.result()
+
+    def close(self, cancel_futures: bool = False) -> None:
+        """Shut the executor down; ``cancel_futures`` drops queued tasks
+        (the error path -- a failing run must not wait out the queue)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=cancel_futures)
+            self._executor = None
+
+
+# ---------------------------------------------------------------------------
+# The dispatch phases (shared by the per-class path and the suite scheduler)
+# ---------------------------------------------------------------------------
+
+
+def plan_class(
+    engine,
+    target: ClassModel,
+    shard: list[_Slot],
+    pending_by_key: dict[tuple, int],
+    stats: ParallelRunStats,
+) -> list[_Slot]:
+    """Phase 1 (parent): plan one class's sequents against the cache.
+
+    Generates ``target``'s sequents in the exact order the sequential
+    engine would, answers in-memory / persistent-store hits immediately,
+    folds fingerprint duplicates onto their pending representative, and
+    appends the unique misses to ``shard``.  ``shard`` and
+    ``pending_by_key`` may be shared across several classes (the suite
+    scheduler plans the whole catalogue into one shard, so a sequent
+    repeated across classes is still proved only once, exactly as a
+    sequential engine's warm cache would).
+
+    Returns the class's slots in sequential order; ``stats`` accumulates
+    hit/duplicate counts (``stats.dispatched`` is left to the caller, which
+    knows when the shard is complete).
+    """
     portfolio = engine.portfolio
-    spec = PortfolioSpec.from_portfolio(portfolio)
-    stats = ParallelRunStats(jobs=jobs)
-
-    # Phase 1 (parent): generate sequents in sequential order and resolve
-    # everything the cache already knows.
     slots: list[_Slot] = []
-    shard: list[_Slot] = []
-    pending_by_key: dict[tuple, int] = {}
     for method_index, method in enumerate(target.methods):
         for sequent in engine.method_sequents(target, method):
             slot = _Slot(method_index, sequent, engine.task_for(sequent))
@@ -173,42 +274,98 @@ def verify_class_parallel(engine, target: ClassModel, jobs: int):
             shard.append(slot)
             if key is not None:
                 pending_by_key[key] = slot.shard_index
-    stats.sequents_total = len(slots)
-    stats.dispatched = len(shard)
+    stats.sequents_total += len(slots)
+    return slots
 
-    # Phase 2 (workers): run the provers on the unique misses.
-    shard_results: list[DispatchResult] = [None] * len(shard)  # type: ignore[list-item]
+
+def run_shard(
+    engine,
+    shard: list[_Slot],
+    jobs: int,
+    stats: ParallelRunStats,
+    order: list[int] | None = None,
+    on_result=None,
+) -> list[DispatchResult]:
+    """Phase 2: run the provers on the unique misses.
+
+    ``order`` optionally reorders *dispatch* (a permutation of shard
+    indices -- the suite scheduler passes longest-class-first); the
+    returned list is always indexed by shard position, so the merge stays
+    deterministic regardless of dispatch order.  With ``jobs <= 1`` the
+    provers run in-process on the parent's portfolio (no pool), which is
+    what makes a suite-scheduled ``--jobs 1`` run behave exactly like the
+    sequential engine modulo scheduling bookkeeping.
+
+    ``on_result(slot, result)`` is called in the parent as each verdict
+    arrives (completion order, not merge order); the suite scheduler uses
+    it to checkpoint verdicts to the persistent cache so an interrupted
+    long run keeps what it already proved.
+    """
+    results: list[DispatchResult] = [None] * len(shard)  # type: ignore[list-item]
     start = time.monotonic()
     if shard:
-        worker_loads: dict[int, WorkerLoad] = {}
-        max_workers = min(jobs, len(shard))
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_init_worker,
-            initargs=(spec,),
-        ) as pool:
-            items = [(slot.shard_index, slot.task) for slot in shard]
-            for index, pid, wall, result in pool.map(
-                _dispatch_in_worker, items, chunksize=1
-            ):
-                shard_results[index] = result
-                load = worker_loads.setdefault(pid, WorkerLoad(pid))
-                load.tasks += 1
-                load.prover_time += wall
-        stats.workers = sorted(worker_loads.values(), key=lambda load: load.pid)
-    stats.wall_time = time.monotonic() - start
+        indexed = [(slot.shard_index, slot.task) for slot in shard]
+        if order is not None:
+            indexed = [indexed[position] for position in order]
+        if jobs <= 1:
+            pid = os.getpid()
+            for index, task in indexed:
+                task_start = time.monotonic()
+                results[index] = engine.portfolio.run_provers(task)
+                stats.fold_worker(pid, 1, time.monotonic() - task_start)
+                if on_result is not None:
+                    on_result(shard[index], results[index])
+        else:
+            spec = PortfolioSpec.from_portfolio(engine.portfolio)
+            pool = engine.acquire_pool(spec, jobs, shard_size=len(shard))
+            try:
+                for index, pid, wall, result in pool.run(indexed):
+                    results[index] = result
+                    stats.fold_worker(pid, 1, wall)
+                    if on_result is not None:
+                        on_result(shard[index], result)
+            except BaseException:
+                # A dead executor (e.g. an OOM-killed worker raising
+                # BrokenProcessPool) must not survive as a warm pool.
+                engine.release_pool(pool, broken=True)
+                raise
+            engine.release_pool(pool)
+        stats.workers.sort(key=lambda load: load.pid)
+    stats.wall_time += time.monotonic() - start
+    return results
 
-    # Phase 3 (parent): deterministic merge.  Replay verdicts into the
-    # parent's statistics and cache in sequential sequent order, then
-    # resolve the folded duplicates as memory cache hits.
+
+def resolve_shard(
+    portfolio: ProverPortfolio,
+    shard: list[_Slot],
+    results: list[DispatchResult],
+    store: bool = True,
+) -> None:
+    """Phase 3a: replay worker verdicts into the parent, in shard order.
+
+    Statistics and cache contents end up bit-identical to a sequential
+    dispatch loop over the same tasks.  Pass ``store=False`` when every
+    verdict was already stored as it arrived (the suite scheduler's
+    checkpoint callback), so each verdict is stored exactly once either
+    way.
+    """
     for slot in shard:
-        result = shard_results[slot.shard_index]
+        result = results[slot.shard_index]
         slot.result = result
         portfolio.record_outcome(result)
-        portfolio.store_verdict(slot.key, result)
+        if store:
+            portfolio.store_verdict(slot.key, result)
+
+
+def resolve_duplicates(
+    portfolio: ProverPortfolio,
+    slots: list[_Slot],
+    results: list[DispatchResult],
+) -> None:
+    """Phase 3b: answer folded duplicates as warm memory cache hits."""
     for slot in slots:
         if slot.duplicate_of is not None:
-            rep = shard_results[slot.duplicate_of]
+            rep = results[slot.duplicate_of]
             if rep.proved:
                 portfolio.statistics.sequents_proved += 1
             slot.result = DispatchResult(
@@ -220,6 +377,18 @@ def verify_class_parallel(engine, target: ClassModel, jobs: int):
                 cache_origin="memory",
             )
 
+
+def build_class_report(target: ClassModel, slots: list[_Slot]):
+    """Assemble the :class:`~repro.verifier.engine.ClassReport` for ``target``.
+
+    Outcomes appear in sequential method/sequent order.  The sequential
+    path measures per-method wall time; in a parallel run the methods
+    overlap, so the closest faithful number is the prover time actually
+    spent on the method's sequents.
+    """
+    # Imported here: engine.py imports this module lazily and vice versa.
+    from .engine import ClassReport, MethodReport, SequentOutcome
+
     report = ClassReport(target.name)
     for method_index, method in enumerate(target.methods):
         method_report = MethodReport(target.name, method.name)
@@ -228,11 +397,28 @@ def verify_class_parallel(engine, target: ClassModel, jobs: int):
                 method_report.outcomes.append(
                     SequentOutcome(slot.sequent, slot.result)
                 )
-        # The sequential path measures per-method wall time; in a parallel
-        # run the methods overlap, so the closest faithful number is the
-        # prover time actually spent on the method's sequents.
         method_report.elapsed = sum(
             outcome.dispatch.elapsed for outcome in method_report.outcomes
         )
         report.methods.append(method_report)
-    return report, stats
+    return report
+
+
+def verify_class_parallel(engine, target: ClassModel, jobs: int):
+    """Verify every method of ``target`` with ``jobs`` worker processes.
+
+    Returns ``(ClassReport, ParallelRunStats)``.  Verdicts, prover
+    attribution and portfolio statistics are identical to the sequential
+    :meth:`~repro.verifier.engine.VerificationEngine.verify_class` path
+    (modulo timing jitter on near-timeout sequents, which both paths share).
+    """
+    portfolio = engine.portfolio
+    stats = ParallelRunStats(jobs=jobs)
+    shard: list[_Slot] = []
+    pending_by_key: dict[tuple, int] = {}
+    slots = plan_class(engine, target, shard, pending_by_key, stats)
+    stats.dispatched = len(shard)
+    results = run_shard(engine, shard, jobs, stats)
+    resolve_shard(portfolio, shard, results)
+    resolve_duplicates(portfolio, slots, results)
+    return build_class_report(target, slots), stats

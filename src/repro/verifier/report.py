@@ -30,6 +30,8 @@ __all__ = [
     "format_table",
     "format_performance",
     "format_parallel",
+    "format_suite",
+    "format_verify",
 ]
 
 
@@ -121,19 +123,33 @@ TABLE2_HEADER = [
 
 
 def table1_rows(
-    classes: list[ClassModel], engine: VerificationEngine | None = None
+    classes: list[ClassModel],
+    engine: VerificationEngine | None = None,
+    reports: list[ClassReport] | None = None,
 ) -> list[Table1Row]:
     """Compute Table 1: construct counts plus (optionally) verification time.
 
     When ``engine`` is None the timing column is 0 and the ``verified`` flag
-    is left True; passing an engine runs full verification.
+    is left True; passing an engine runs full verification class by class.
+    Alternatively, pass precomputed ``reports`` (e.g. from a suite-scheduled
+    :meth:`~repro.verifier.engine.VerificationEngine.verify_suite` run) to
+    fill the timing/verified columns without re-verifying.
     """
+    by_name = (
+        {report.class_name: report for report in reports}
+        if reports is not None
+        else None
+    )
     rows: list[Table1Row] = []
     for cls in classes:
         stats = class_statistics(cls)
         elapsed = 0.0
         verified = True
-        if engine is not None:
+        if by_name is not None:
+            report = by_name[cls.name]
+            elapsed = report.elapsed
+            verified = report.verified
+        elif engine is not None:
             report = engine.verify_class(cls)
             elapsed = report.elapsed
             verified = report.verified
@@ -231,13 +247,11 @@ def format_performance(
     return "\n".join(lines)
 
 
-def format_parallel(stats) -> str:
-    """Render the scheduling statistics of a parallel verification run.
-
-    ``stats`` is a :class:`~repro.verifier.parallel.ParallelRunStats`.
-    """
-    lines = [
-        f"Parallel dispatch ({stats.jobs} jobs)",
+def _dispatch_counter_lines(stats) -> list[str]:
+    """The run-counter lines shared by :func:`format_parallel` and
+    :func:`format_suite` (``stats`` is a ``ParallelRunStats`` or
+    subclass)."""
+    return [
         f"  sequents total      {stats.sequents_total}",
         f"  shipped to workers  {stats.dispatched}",
         f"  answered from cache {stats.hits_memory + stats.hits_disk} "
@@ -246,11 +260,78 @@ def format_parallel(stats) -> str:
         f"  pool wall time      {stats.wall_time:.1f}s "
         f"(prover time {stats.prover_time:.1f}s)",
     ]
-    for load in stats.workers:
+
+
+def _worker_load_lines(stats) -> list[str]:
+    return [
+        f"  worker {load.pid:<12} {load.tasks} sequents, "
+        f"{load.prover_time:.1f}s"
+        for load in stats.workers
+    ]
+
+
+def format_parallel(stats) -> str:
+    """Render the scheduling statistics of a parallel verification run.
+
+    ``stats`` is a :class:`~repro.verifier.parallel.ParallelRunStats`.
+    """
+    lines = [f"Parallel dispatch ({stats.jobs} jobs)"]
+    lines += _dispatch_counter_lines(stats)
+    lines += _worker_load_lines(stats)
+    return "\n".join(lines)
+
+
+def format_suite(stats) -> str:
+    """Render the scheduling statistics of a suite-level run.
+
+    ``stats`` is a :class:`~repro.verifier.scheduler.SuiteRunStats`: the
+    pooled counters of :func:`format_parallel` plus the per-class
+    breakdown and the longest-class-first dispatch order.
+    """
+    lines = [
+        f"Suite schedule ({stats.jobs} jobs)",
+        f"  dispatch order      {', '.join(stats.schedule_order)}",
+    ]
+    lines += _dispatch_counter_lines(stats)
+    header = ["class", "cost hint", "sequents", "dispatched", "cache", "dup"]
+    rows = [
+        [
+            cls.class_name,
+            f"{cls.cost_hint:g}",
+            str(cls.sequents),
+            str(cls.dispatched),
+            str(cls.hits_memory + cls.hits_disk),
+            str(cls.duplicates_folded),
+        ]
+        for cls in stats.classes
+    ]
+    lines.extend("  " + line for line in format_table(header, rows).splitlines())
+    lines += _worker_load_lines(stats)
+    return "\n".join(lines)
+
+
+def format_verify(report: ClassReport) -> str:
+    """Render one class's verification outcome, method by method.
+
+    The CLI ``verify`` command and the daemon's ``verify`` op both print
+    exactly this, so a ``--connect`` run is textually identical to a local
+    one.
+    """
+    lines = []
+    for method_report in report.methods:
+        status = "ok" if method_report.verified else "FAILED"
         lines.append(
-            f"  worker {load.pid:<12} {load.tasks} sequents, "
-            f"{load.prover_time:.1f}s"
+            f"{report.class_name}.{method_report.method_name}: "
+            f"{method_report.sequents_proved}/{method_report.sequents_total} "
+            f"sequents ({method_report.elapsed:.1f}s) {status}"
         )
+        for outcome in method_report.failed_sequents:
+            lines.append(f"    failed: {outcome.sequent.label}")
+    lines.append(
+        f"total: {report.sequents_proved}/{report.sequents_total} sequents, "
+        f"{report.methods_verified}/{report.methods_total} methods, "
+        f"{report.elapsed:.1f}s"
+    )
     return "\n".join(lines)
 
 

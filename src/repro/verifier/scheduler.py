@@ -1,0 +1,164 @@
+"""Suite-level verification scheduler.
+
+PR 2 parallelized dispatch *within* one class: each ``verify_class`` call
+plans its own shard and its stragglers still serialize the end of a
+whole-catalogue run (the worker pool drains while the next class has not
+even been planned yet).  This module plans the **entire suite as one job
+graph**:
+
+1. every class is decomposed into sequent shards up front, in the exact
+   catalogue/method/sequent order the per-class sequential path uses --
+   cache consults and fingerprint dedup are resolved parent-side in that
+   deterministic order (:func:`~repro.verifier.parallel.plan_class` with a
+   suite-wide shard and pending map), so verdicts, prover attribution and
+   cache counters stay bit-identical to per-class sequential runs;
+2. the surviving unique misses of *all* classes are interleaved across the
+   existing worker pool in **longest-class-first** order (cost hints from
+   :data:`repro.suite.catalog.CLASS_COST_HINTS`), so the expensive Hash
+   Table / Priority Queue / Binary Tree shards start immediately instead
+   of gating the tail of the run;
+3. the merge replays verdicts in deterministic shard order and assembles
+   one :class:`~repro.verifier.engine.ClassReport` per class, in the input
+   order.
+
+Dispatch *order* is a pure scheduling choice: results are merged by shard
+index, and per-sequent timeouts are per-process CPU budgets
+(:class:`~repro.provers.result.Budget`), so reordering cannot flip a
+verdict.  The differential harness
+(``tests/verifier/test_scheduler_differential.py``) pins this down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend.ast import ClassModel
+from ..suite.catalog import cost_hint
+from .parallel import (
+    ParallelRunStats,
+    _Slot,
+    build_class_report,
+    plan_class,
+    resolve_duplicates,
+    resolve_shard,
+    run_shard,
+)
+
+__all__ = ["ClassScheduleStats", "SuiteRunStats", "plan_dispatch_order", "verify_suite"]
+
+#: Flush newly arrived verdicts to the persistent store every this many
+#: results during a suite run (merge-saves are cheap but not free).
+_CHECKPOINT_EVERY = 32
+
+
+@dataclass
+class ClassScheduleStats:
+    """One class's share of a suite-scheduled run."""
+
+    class_name: str
+    cost_hint: float
+    sequents: int = 0
+    dispatched: int = 0
+    hits_memory: int = 0
+    hits_disk: int = 0
+    duplicates_folded: int = 0
+
+
+@dataclass
+class SuiteRunStats(ParallelRunStats):
+    """Scheduling statistics of one :func:`verify_suite` run.
+
+    Extends the per-run counters of :class:`ParallelRunStats` with the
+    per-class breakdown and the longest-class-first dispatch order that
+    was actually used.
+    """
+
+    classes: list[ClassScheduleStats] = field(default_factory=list)
+    schedule_order: list[str] = field(default_factory=list)
+
+
+def plan_dispatch_order(classes: list[ClassModel]) -> list[int]:
+    """Class indices in dispatch order: descending cost hint, ties by
+    input (catalogue) order.  Pure and deterministic."""
+    return sorted(
+        range(len(classes)),
+        key=lambda index: (-cost_hint(classes[index].name), index),
+    )
+
+
+def verify_suite(engine, classes: list[ClassModel], jobs: int):
+    """Verify ``classes`` as one scheduled job graph.
+
+    Returns ``(reports, SuiteRunStats)`` with one
+    :class:`~repro.verifier.engine.ClassReport` per class, in input order.
+    Verdicts, attribution and portfolio counters are bit-identical to
+    calling ``verify_class`` sequentially on the same engine for each
+    class in the same order (the differential tests assert this for
+    ``jobs`` in {1, 2, 4}).
+    """
+    portfolio = engine.portfolio
+    stats = SuiteRunStats(jobs=jobs)
+
+    # Phase 1: plan every class against the (shared) cache, in catalogue
+    # order -- this is the deterministic cache-authority order.  The shard
+    # and the pending-duplicate map span the whole suite, so a sequent
+    # repeated across classes is proved once and its later occurrences
+    # resolve as the memory cache hits a sequential engine would see.
+    shard: list[_Slot] = []
+    pending_by_key: dict[tuple, int] = {}
+    planned: list[tuple[ClassModel, list[_Slot]]] = []
+    shard_ranges: list[tuple[int, int]] = []
+    for cls in classes:
+        shard_start = len(shard)
+        before = (stats.hits_memory, stats.hits_disk, stats.duplicates_folded)
+        slots = plan_class(engine, cls, shard, pending_by_key, stats)
+        planned.append((cls, slots))
+        shard_ranges.append((shard_start, len(shard)))
+        stats.classes.append(
+            ClassScheduleStats(
+                class_name=cls.name,
+                cost_hint=cost_hint(cls.name),
+                sequents=len(slots),
+                dispatched=len(shard) - shard_start,
+                hits_memory=stats.hits_memory - before[0],
+                hits_disk=stats.hits_disk - before[1],
+                duplicates_folded=stats.duplicates_folded - before[2],
+            )
+        )
+    stats.dispatched = len(shard)
+
+    # Phase 2: interleave the whole suite's misses across the pool,
+    # longest class first (within a class, sequent order is preserved).
+    class_order = plan_dispatch_order(classes)
+    stats.schedule_order = [classes[index].name for index in class_order]
+    order: list[int] = []
+    for index in class_order:
+        start, end = shard_ranges[index]
+        order.extend(range(start, end))
+
+    # Checkpoint verdicts to the persistent store as they arrive so an
+    # interrupted multi-minute run keeps what it already proved (the
+    # per-class path gets this for free from its per-class flushes).
+    # Storing early cannot change any decision: every cache consult
+    # already happened in phase 1, and the merge re-stores idempotently.
+    arrivals = 0
+
+    def checkpoint(slot, result):
+        nonlocal arrivals
+        portfolio.store_verdict(slot.key, result)
+        arrivals += 1
+        if arrivals % _CHECKPOINT_EVERY == 0:
+            engine.flush_persistent_cache()
+
+    results = run_shard(engine, shard, jobs, stats, order=order, on_result=checkpoint)
+
+    # Phase 3: deterministic merge -- replay verdicts in shard order, then
+    # resolve each class's folded duplicates and build its report in the
+    # original input order.  The checkpoint callback already stored every
+    # dispatched verdict, so the replay only does the accounting.
+    resolve_shard(portfolio, shard, results, store=False)
+    reports = []
+    for cls, slots in planned:
+        resolve_duplicates(portfolio, slots, results)
+        reports.append(build_class_report(cls, slots))
+    return reports, stats

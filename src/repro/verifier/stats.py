@@ -119,6 +119,26 @@ class PerformanceCounters:
         total = self.proof_cache_hits + self.proof_cache_misses
         return self.proof_cache_hits / total if total else 0.0
 
+    def as_dict(self) -> dict:
+        """A JSON-ready snapshot of every counter (plus the derived rates).
+
+        The verification daemon's ``stats`` op ships exactly this over the
+        wire (:mod:`repro.verifier.daemon`), so it must stay limited to
+        plain ``str``/``int``/``float`` values.
+        """
+        return {
+            "terms_allocated": self.terms_allocated,
+            "terms_interned": self.terms_interned,
+            "intern_hit_rate": self.intern_hit_rate,
+            "proof_cache_hits": self.proof_cache_hits,
+            "proof_cache_hits_memory": self.proof_cache_hits_memory,
+            "proof_cache_hits_disk": self.proof_cache_hits_disk,
+            "proof_cache_misses": self.proof_cache_misses,
+            "proof_cache_hit_rate": self.proof_cache_hit_rate,
+            "sequents_attempted": self.sequents_attempted,
+            "sequents_proved": self.sequents_proved,
+        }
+
 
 def performance_counters(portfolio=None) -> PerformanceCounters:
     """Collect the performance counters of a run.

@@ -124,3 +124,31 @@ def test_warm_persistent_cache_speedup(tmp_path):
             for o in m.outcomes
         ]
     assert warm * 5 <= cold, f"cold={cold:.2f}s warm={warm:.2f}s"
+
+
+def test_table1_suite_scheduled_smoke(tmp_path):
+    """``bench_table1``'s suite-scheduled runner on the fast structures:
+    same verdicts as the per-class runner, sane scheduling accounting."""
+    structures = _fast_structures()
+    per_class_engine, per_class_reports = bench_table1.run_suite(
+        jobs=2, structures=structures
+    )
+    suite_engine, suite_reports = bench_table1.run_suite(
+        jobs=2, structures=structures, suite_schedule=True
+    )
+    for per_class_report, suite_report in zip(per_class_reports, suite_reports):
+        assert [
+            (o.sequent.label, o.proved, o.prover)
+            for m in per_class_report.methods
+            for o in m.outcomes
+        ] == [
+            (o.sequent.label, o.proved, o.prover)
+            for m in suite_report.methods
+            for o in m.outcomes
+        ]
+    stats = suite_engine.last_suite_stats
+    assert stats is not None and stats.jobs == 2
+    assert stats.schedule_order[0] == "Circular List"  # costliest fast class
+    assert stats.dispatched + stats.hits_memory + stats.hits_disk + (
+        stats.duplicates_folded
+    ) == stats.sequents_total
