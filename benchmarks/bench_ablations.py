@@ -9,8 +9,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.provers.dispatch import default_portfolio
 from repro.suite.hash_table import build_hash_table
 from repro.suite.linked_structures import build_linked_list

@@ -11,8 +11,6 @@ per-prover behaviour the paper describes qualitatively in Section 6.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.logic import BOOL, INT, OBJ, fun_of, map_of, set_of
 from repro.logic.parser import parse_formula
 from repro.provers import FolProver, ProofTask, SetCardinalityProver, SmtProver

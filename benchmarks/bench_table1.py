@@ -6,6 +6,14 @@ counts, and the number of uses of each integrated proof language construct.
 One benchmark is emitted per data structure (its measured time is the
 "Verification Time" column); the full formatted table is printed at the end
 of the run.
+
+Besides the pytest-benchmark entry points, this module is runnable as a
+script in **smoke mode** -- ``python benchmarks/bench_table1.py --smoke
+--json out.json`` -- which verifies the fast catalogue classes on a
+suite-scheduled two-job engine and writes a small JSON record (per-class
+timings, scheduling and cache counters).  The CI tier-1 job runs exactly
+this and uploads the JSON as a build artifact, so the perf trajectory is
+recorded per commit.
 """
 
 from __future__ import annotations
@@ -157,6 +165,87 @@ def test_table1_suite_scheduled(jobs, benchmark):
         assert by_name[row.class_name].verified == row.verified, row.class_name
 
 
+#: The quickly-verifying structures the smoke mode (and the tier-1 smoke
+#: tests) exercise; their verdicts sit far from any prover timeout.
+SMOKE_STRUCTURES = ("Array List", "Cursor List", "Linked List", "Circular List")
+
+
+def run_smoke(jobs: int = 2, structure_names=SMOKE_STRUCTURES) -> dict:
+    """One suite-scheduled smoke run, summarized as a JSON-ready dict.
+
+    Small on purpose: a per-commit CI artifact that records the shape of
+    the run (per-class timings, scheduling and cache counters) without
+    the multi-minute full catalogue.
+    """
+    import time as _time
+
+    chosen = [cls for cls in all_structures() if cls.name in structure_names]
+    start = _time.monotonic()
+    engine, reports = run_suite(jobs=jobs, structures=chosen, suite_schedule=True)
+    wall = _time.monotonic() - start
+    stats = engine.last_suite_stats
+    counters = performance_counters(engine.portfolio)
+    return {
+        "mode": "smoke",
+        "jobs": jobs,
+        "timeout_scale": TIMEOUT_SCALE,
+        "wall_seconds": round(wall, 3),
+        "schedule_order": list(stats.schedule_order),
+        "dispatch": {
+            "backend": stats.backend,
+            "sequents_total": stats.sequents_total,
+            "dispatched": stats.dispatched,
+            "hits_memory": stats.hits_memory,
+            "hits_disk": stats.hits_disk,
+            "duplicates_folded": stats.duplicates_folded,
+        },
+        "counters": counters.as_dict(),
+        "classes": [
+            {
+                "name": report.class_name,
+                "verified": report.verified,
+                "methods": report.methods_total,
+                "sequents_total": report.sequents_total,
+                "sequents_proved": report.sequents_proved,
+                "elapsed": round(report.elapsed, 3),
+            }
+            for report in reports
+        ],
+    }
+
+
+def main(argv=None) -> int:
+    """Script entry: ``--smoke`` (required) plus ``--json PATH``."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the fast-structure suite-scheduled smoke benchmark",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="worker processes (default 2)"
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", help="write the record here"
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("only --smoke mode is scriptable; use pytest for the rest")
+    record = run_smoke(jobs=args.jobs)
+    text = json.dumps(record, indent=2, sort_keys=True)
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(text + "\n", encoding="utf-8")
+    print(text)
+    if not all(cls["verified"] for cls in record["classes"]):
+        return 1
+    return 0
+
+
 def test_table1_print():
     """Print the assembled Table 1 (runs after the per-structure rows)."""
     if not _ROWS:
@@ -181,3 +270,9 @@ def test_table1_print():
         )
     )
     assert len(rows) == len(all_structures())
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    import sys
+
+    sys.exit(main())

@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..gcl.extended import ProofConstruct
-from ..logic.sorts import BOOL, Sort
+from ..logic.sorts import Sort
 from ..logic.terms import TRUE, Term, Var
 
 __all__ = [

@@ -31,12 +31,11 @@ paper):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..gcl import extended as gc
 from ..gcl.extended import ExtendedCommand, eseq
 from ..logic import builder as b
-from ..logic.simplify import simplify
 from ..logic.sorts import OBJ, MapSort
 from ..logic.subst import substitute
 from ..logic.terms import (

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from ..logic import builder as b
 from ..logic.subst import FreshNameGenerator
-from ..logic.terms import Term, Var, free_var_names
+from ..logic.terms import Var, free_var_names
 from .extended import (
     Assert,
     Assign,

@@ -30,7 +30,6 @@ from .terms import (
     App,
     Binder,
     BoolLit,
-    Const,
     IntLit,
     Term,
     Var,

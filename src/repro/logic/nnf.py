@@ -14,13 +14,11 @@ These transformations prepare formulas for the refutation-based provers:
 from __future__ import annotations
 
 from . import builder as b
-from .sorts import BOOL, FunSort
+from .sorts import BOOL
 from .subst import FreshNameGenerator, substitute
 from .terms import (
-    COMPREHENSION,
     EXISTS,
     FORALL,
-    LAMBDA,
     App,
     Binder,
     BoolLit,

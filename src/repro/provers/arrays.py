@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from ..logic import builder as b
 from ..logic.simplify import simplify
-from ..logic.sorts import INT
 from ..logic.terms import App, Binder, Term
 
 __all__ = ["select_store_lemmas"]

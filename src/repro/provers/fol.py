@@ -28,7 +28,6 @@ from dataclasses import dataclass
 from ..logic import builder as b
 from ..logic.clauses import Clause, ClauseBudgetExceeded, Literal, cnf_clauses
 from ..logic.nnf import matrix_of, skolemize, to_nnf
-from ..logic.simplify import simplify
 from ..logic.sorts import BOOL
 from ..logic.subst import FreshNameGenerator, substitute
 from ..logic.terms import (

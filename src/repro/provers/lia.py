@@ -18,7 +18,7 @@ verification conditions need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 
 from ..logic.sorts import INT

@@ -21,7 +21,7 @@ from ..logic import builder as b
 from ..logic.evaluator import EvaluationError, Interpretation
 from ..logic.simplify import simplify
 from ..logic.sorts import BOOL, INT, OBJ, SetSort
-from ..logic.terms import Term, Var, free_vars, function_symbols, term_size
+from ..logic.terms import Term, free_vars, function_symbols, term_size
 from .interface import Prover
 from .result import Budget, Outcome, ProofTask, ProverResult
 

@@ -32,11 +32,8 @@ from ..logic.terms import (
     App,
     Binder,
     BoolLit,
-    Const,
-    IntLit,
     Term,
     Var,
-    free_vars,
     subterms,
 )
 

@@ -32,7 +32,7 @@ from fractions import Fraction
 
 from ..logic import builder as b
 from ..logic.nnf import to_nnf
-from ..logic.sorts import BOOL, INT, SetSort, Sort
+from ..logic.sorts import INT, SetSort, Sort
 from ..logic.subst import substitute
 from ..logic.terms import App, BoolLit, Const, IntLit, Term, Var, subterms
 from .interface import Prover
@@ -68,7 +68,6 @@ class _Universe:
         dims = self.elem_dims if is_element else self.set_dims
         if term not in dims:
             dims.append(term)
-        offset = len(self.set_dims) if is_element else 0
         # Element dimensions are numbered after the set dimensions.
         if is_element:
             return len(self.set_dims) + self.elem_dims.index(term)

@@ -20,7 +20,7 @@ from ..logic.clauses import Literal
 from ..logic.sorts import INT
 from ..logic.terms import App, BoolLit, IntLit, Term, subterms
 from .euf import CongruenceClosure
-from .lia import LinearSolver, linearize
+from .lia import LinearSolver
 from .result import Budget
 
 __all__ = ["TheoryChecker", "TheoryConflict"]

@@ -22,13 +22,10 @@ The modelling conventions (documented in DESIGN.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from ..frontend.ast import (
     ArrayWrite,
     Assign,
     AssertStmt,
-    AssumeStmt,
     Call,
     ClassModel,
     FieldWrite,
@@ -46,7 +43,7 @@ from ..frontend.ast import (
 from ..gcl.extended import ExtendedCommand, Skip, eseq
 from ..logic.parser import parse_formula, parse_sort, parse_term
 from ..logic.sorts import Sort
-from ..logic.terms import TRUE, Term, Var
+from ..logic.terms import Term, Var
 from ..proofs.constructs import (
     Assuming,
     Cases,
@@ -55,7 +52,6 @@ from ..proofs.constructs import (
     Mp,
     Note,
     PickAny,
-    PickWitness,
     Witness,
 )
 
@@ -378,7 +374,6 @@ class MethodBuilder:
     def inner_note(self, label: str, formula: str, from_hints: str = "",
                    extra: dict[str, Sort] | None = None) -> ExtendedCommand:
         """A ``note`` command for use inside another construct's proof body."""
-        from ..gcl.extended import Assert as GAssert, Assume as GAssume
 
         hints = tuple(h.strip() for h in from_hints.split(",") if h.strip())
         from ..proofs.constructs import Note as NoteConstruct

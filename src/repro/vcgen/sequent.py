@@ -9,7 +9,7 @@ assumption-base control).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..logic import builder as b
 from ..logic.simplify import simplify

@@ -9,12 +9,19 @@ Subcommands::
                                   --jobs > 1; see --schedule)
     jahob-py table2               regenerate Table 2 (slow: verifies twice)
     jahob-py serve                run the warm verification daemon on a
-                                  unix socket (see --socket)
+                                  unix socket (--socket) or TCP (--tcp)
     jahob-py shutdown             stop a daemon (requires --connect)
+    jahob-py worker               run a remote prover worker (--listen to
+                                  await coordinators, --connect to register
+                                  with one)
 
-With ``--connect PATH`` the ``list`` / ``verify`` / ``table1`` commands are
-served by a running daemon (``jahob-py serve``) instead of a cold local
-engine; the printed output is identical.
+With ``--connect ADDR`` (a unix-socket path or ``HOST:PORT``) the ``list``
+/ ``verify`` / ``table1`` commands are served by a running daemon
+(``jahob-py serve``) instead of a cold local engine; the printed output is
+identical.  ``--workers HOST:PORT,...`` makes a local run (or a daemon)
+dispatch its prover phase to listening ``jahob-py worker`` processes; all
+TCP endpoints authenticate with the shared secret from ``--secret-file``
+or ``JAHOB_SECRET``.
 """
 
 from __future__ import annotations
@@ -108,9 +115,24 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--connect",
         default=None,
-        metavar="SOCKET",
+        metavar="ADDR",
         help="serve list/verify/table1/shutdown through the daemon listening "
-        "on this unix socket instead of a cold local engine",
+        "on this unix socket or HOST:PORT instead of a cold local engine",
+    )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        metavar="LIST",
+        help="comma-separated HOST:PORT addresses of listening 'jahob-py "
+        "worker' processes; prover dispatch is distributed across them "
+        "(verdicts identical to a local run)",
+    )
+    parser.add_argument(
+        "--secret-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the shared secret that authenticates TCP "
+        "daemon/worker connections (JAHOB_SECRET works too)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list benchmark data structures")
@@ -134,9 +156,64 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help=f"unix socket to listen on (default: {DEFAULT_SOCKET})",
     )
+    serve.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="listen on TCP instead of the unix socket; requires the "
+        "shared secret (--secret-file or JAHOB_SECRET)",
+    )
+    serve.add_argument(
+        "--worker-listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="also accept 'jahob-py worker --connect' registrations on "
+        "this TCP address and dispatch proving to them",
+    )
+    serve.add_argument(
+        "--secret-file",
+        dest="secret_file",
+        # SUPPRESS, not None: argparse copies the sub-namespace over the
+        # main one, so a plain default would clobber a global
+        # --secret-file given before the subcommand.
+        default=argparse.SUPPRESS,
+        metavar="PATH",
+        help="same as the global --secret-file, accepted after 'serve' too",
+    )
     subparsers.add_parser(
         "shutdown",
         help="flush the daemon's caches and stop it (requires --connect)",
+    )
+    worker = subparsers.add_parser(
+        "worker",
+        help="run a remote prover worker for a coordinator to dispatch to",
+    )
+    worker.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="listen for coordinators on this TCP address (':0' picks a "
+        "free port, printed on stdout)",
+    )
+    worker.add_argument(
+        "--connect",
+        dest="worker_connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="register with the coordinator (daemon --worker-listen) at "
+        "this TCP address",
+    )
+    worker.add_argument(
+        "--once",
+        action="store_true",
+        help="with --listen: exit after serving one coordinator session",
+    )
+    worker.add_argument(
+        "--secret-file",
+        dest="secret_file",
+        default=argparse.SUPPRESS,  # see the serve copy
+        metavar="PATH",
+        help="same as the global --secret-file, accepted after 'worker' too",
     )
     return parser
 
@@ -153,6 +230,7 @@ _ENGINE_FLAGS = (
     ("--no-persist", "no_persist"),
     ("--schedule", "schedule"),
     ("--perf", "perf"),
+    ("--workers", "workers"),
 )
 
 
@@ -166,6 +244,14 @@ def _non_default_flags(
         for flag, dest in flags
         if getattr(args, dest) != parser.get_default(dest)
     ]
+
+
+def _load_secret_arg(args: argparse.Namespace) -> bytes | None:
+    """The shared secret from ``--secret-file`` / ``JAHOB_SECRET``; an
+    unreadable file surfaces as ``OSError`` for the caller to report."""
+    from .wire import load_secret
+
+    return load_secret(args.secret_file)
 
 
 def _run_connected(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
@@ -182,7 +268,12 @@ def _run_connected(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
             "the daemon keeps the engine configuration it was started with",
             file=sys.stderr,
         )
-    client = DaemonClient(args.connect)
+    try:
+        secret = _load_secret_arg(args)
+    except OSError as exc:
+        print(f"cannot read --secret-file: {exc}", file=sys.stderr)
+        return 2
+    client = DaemonClient(args.connect, secret=secret)
     if args.command == "list":
         request = {"op": "list"}
     elif args.command == "verify":
@@ -219,25 +310,45 @@ def _run_serve(args: argparse.Namespace) -> int:
     """Run the warm daemon until SIGINT/SIGTERM or a ``shutdown`` request."""
     from .daemon import DaemonError, VerifierDaemon
 
-    daemon = VerifierDaemon(
-        args.socket,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        persist=not args.no_persist,
-        use_proof_cache=not args.no_cache,
-        timeout_scale=args.timeout_scale,
-    )
+    try:
+        secret = _load_secret_arg(args)
+    except OSError as exc:
+        print(f"cannot read --secret-file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        daemon = VerifierDaemon(
+            args.tcp if args.tcp is not None else args.socket,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            persist=not args.no_persist,
+            use_proof_cache=not args.no_cache,
+            timeout_scale=args.timeout_scale,
+            secret=secret,
+            workers=args.workers,
+            worker_listen=args.worker_listen,
+        )
+    except DaemonError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    from .remote import RemoteWorkerError
+
     try:
         # Pool first, then listener, for the fd-inheritance reasons
-        # documented on VerifierDaemon.serve_forever.
+        # documented on VerifierDaemon.serve_forever.  warm_pool raises
+        # RemoteWorkerError for unreachable --workers addresses.
         daemon.engine.warm_pool()
         daemon.bind()
-    except DaemonError as exc:
+    except (DaemonError, RemoteWorkerError) as exc:
         print(str(exc), file=sys.stderr)
         daemon.close()
         return 2
     previous = signal.signal(signal.SIGTERM, lambda *_: daemon.stop())
-    print(f"jahob-py daemon listening on {daemon.socket_path}", flush=True)
+    if daemon.registry is not None:
+        print(
+            f"jahob-py daemon accepting workers on {daemon.registry.address}",
+            flush=True,
+        )
+    print(f"jahob-py daemon listening on {daemon.address}", flush=True)
     try:
         daemon.serve_forever()
     except KeyboardInterrupt:
@@ -253,6 +364,20 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     from ..suite.catalog import all_structures, structure_by_name
 
+    if args.command == "worker":
+        from .worker import run_worker
+
+        try:
+            secret = _load_secret_arg(args)
+        except OSError as exc:
+            print(f"cannot read --secret-file: {exc}", file=sys.stderr)
+            return 2
+        return run_worker(
+            connect=args.worker_connect,
+            listen=args.listen,
+            secret=secret,
+            once=args.once,
+        )
     if args.command == "serve":
         if args.connect is not None:
             print(
@@ -278,6 +403,20 @@ def main(argv: list[str] | None = None) -> int:
         print("shutdown requires --connect SOCKET", file=sys.stderr)
         return 2
 
+    try:
+        secret = _load_secret_arg(args)
+    except OSError as exc:
+        print(f"cannot read --secret-file: {exc}", file=sys.stderr)
+        return 2
+    if args.workers and not secret:
+        # Fail before any proving starts, like serve does, instead of a
+        # RemoteWorkerError traceback mid-run.
+        print(
+            "--workers requires a shared secret "
+            "(--secret-file or JAHOB_SECRET)",
+            file=sys.stderr,
+        )
+        return 2
     portfolio = default_portfolio(with_cache=not args.no_cache)
     portfolio = portfolio.scaled(args.timeout_scale)
     engine = VerificationEngine(
@@ -286,6 +425,8 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         persist=not args.no_persist,
+        workers=args.workers,
+        worker_secret=secret,
     )
 
     if args.command == "list":
@@ -303,7 +444,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "table1":
         classes = all_structures()
-        if args.jobs > 1 and args.schedule == "suite":
+        # Parallel backends (process pool or remote workers) default to
+        # suite scheduling: one job graph, cross-class dedup, one session.
+        if (args.jobs > 1 or engine.uses_remote_workers) and args.schedule == "suite":
             reports = engine.verify_suite(classes)
             rows = table1_rows(classes, reports=reports)
         else:

@@ -12,9 +12,13 @@ a repeat verification is answered from warm caches in milliseconds.
 Protocol
 --------
 
-Newline-delimited JSON over an ``AF_UNIX`` stream socket, one request per
-connection: the client sends a single JSON object terminated by ``"\\n"``,
-the server replies with a single JSON object and closes the connection.
+Newline-delimited JSON, one request per connection: the client sends a
+single JSON object terminated by ``"\\n"``, the server replies with a
+single JSON object and closes the connection.  The daemon listens on an
+``AF_UNIX`` stream socket (authentication: filesystem permissions) or --
+``serve --tcp HOST:PORT`` -- a TCP socket, where every connection must
+first pass the mutual shared-secret handshake of
+:mod:`repro.verifier.wire` before its request line is read.
 Every response carries ``"ok"`` (bool) and, on failure, ``"error"``.
 Supported ``"op"`` values:
 
@@ -32,10 +36,20 @@ Supported ``"op"`` values:
 ``shutdown``  flush the persistent cache and stop the server
 ============  =========================================================
 
+Requests are served **concurrently**: every accepted connection gets its
+own thread, so ``ping`` / ``list`` / ``stats`` are answered immediately
+even while a multi-minute ``table1`` is in flight.  Ops that drive the
+engine (``verify`` / ``suite`` / ``table1`` / ``shutdown``) serialize on
+one engine lock -- the portfolio's caches and counters are deliberately
+single-writer.  A request carrying ``"nowait": true`` refuses to queue:
+if the engine is busy it is answered at once with ``"ok": false`` and
+``"busy": true``.
+
 Shutdown is graceful in all paths -- the ``shutdown`` op, ``SIGTERM`` /
 ``SIGINT`` under ``jahob-py serve``, or :meth:`VerifierDaemon.stop` from a
-controlling thread: the accept loop drains, the persistent cache is
-flushed, the engine's warm pool is closed, and the socket file is removed.
+controlling thread: the accept loop drains, in-flight request threads are
+joined, the persistent cache is flushed, the engine's warm pool is closed,
+and the socket file is removed.
 
 Clients use :class:`DaemonClient` (the CLI's ``--connect`` flag); the
 ``output`` field of a response is printed verbatim, so daemon-served runs
@@ -44,10 +58,10 @@ are textually identical to local ones.
 
 from __future__ import annotations
 
-import json
 import os
 import socket
 import stat
+import threading
 import time
 from pathlib import Path
 
@@ -56,53 +70,43 @@ from ..suite.catalog import all_structures, structure_by_name
 from .engine import ClassReport, VerificationEngine
 from .report import format_suite, format_table1, format_verify, table1_rows
 from .stats import performance_counters
+from .wire import (
+    HandshakeError,
+    LineChannel,
+    WireError,
+    connect_address,
+    create_listener,
+    handshake_accept,
+    handshake_connect,
+    parse_address,
+)
 
 __all__ = ["PROTOCOL_VERSION", "DaemonError", "VerifierDaemon", "DaemonClient"]
 
 #: Bumped on incompatible protocol changes; ``ping`` reports it so clients
 #: can refuse to talk to a daemon from another era.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Hard cap on one request line; a unix-socket peer is trusted, but a
 #: corrupt client must not make the daemon buffer without bound.
 _MAX_REQUEST_BYTES = 1 << 20
 
 #: Socket-I/O deadline for reading a request line and writing a response.
-#: The daemon serves one connection at a time, so a peer that connects and
-#: then goes silent must not park the accept loop forever.  Request
-#: *handling* (proving) runs between the two I/O phases with no deadline.
+#: Connections are served on their own threads, but a peer that connects
+#: and then goes silent must not pin a thread (and, for TCP, a handshake)
+#: forever.  Request *handling* (proving) runs between the two I/O phases
+#: with no deadline.
 _IO_TIMEOUT = 30.0
+
+#: Ops that drive the verification engine and therefore serialize on the
+#: daemon's engine lock; everything else is answered lock-free.
+_ENGINE_OPS = frozenset({"verify", "suite", "table1", "shutdown"})
 
 
 class DaemonError(RuntimeError):
     """Raised by :class:`DaemonClient` when the daemon cannot be reached
     or returns a malformed response, and server-side for protocol
     violations (an oversized request) that still get an error response."""
-
-
-def _read_line(sock: socket.socket, limit: int | None = None) -> bytes:
-    """Read one newline-delimited protocol line (the framing both sides
-    share).
-
-    Stops at the first ``"\\n"`` -- NOT at EOF, which on the client side
-    may only arrive long after the response (worker processes forked
-    while a request is in flight inherit the accepted connection fd).
-    EOF before the delimiter returns whatever arrived; exceeding
-    ``limit`` bytes raises :class:`DaemonError`.
-    """
-    chunks = []
-    total = 0
-    while True:
-        chunk = sock.recv(65536)
-        if not chunk:
-            break
-        chunks.append(chunk)
-        total += len(chunk)
-        if limit is not None and total > limit:
-            raise DaemonError("request too large")
-        if b"\n" in chunk:
-            break
-    return b"".join(chunks).split(b"\n", 1)[0]
 
 
 def _report_payload(report: ClassReport) -> dict:
@@ -138,21 +142,29 @@ def _report_payload(report: ClassReport) -> dict:
 
 
 class VerifierDaemon:
-    """Serve verification requests over a unix socket with warm state.
+    """Serve verification requests over a unix or TCP socket, warm.
 
     Either pass a ready :class:`VerificationEngine` or let the daemon build
     one from ``jobs`` / ``cache_dir`` / ``persist`` / ``use_proof_cache`` /
-    ``timeout_scale`` (the same knobs the CLI exposes).  The engine is
-    always put into ``keep_pool_warm`` mode: the worker pool survives
-    between requests, which is the whole point of the daemon.
-    :meth:`serve_forever` forks that pool before accepting the first
-    connection, so no request pays pool start-up or leaks its connection
-    fd into a worker.
+    ``timeout_scale`` / ``workers`` (the same knobs the CLI exposes).  The
+    engine is always put into ``keep_pool_warm`` mode: the worker pool --
+    in-process or remote -- survives between requests, which is the whole
+    point of the daemon.  :meth:`serve_forever` warms that pool before
+    accepting the first connection, so no request pays pool start-up or
+    leaks its connection fd into a forked worker.
+
+    ``address`` may be a unix-socket path or a ``HOST:PORT`` TCP address;
+    TCP requires ``secret`` (every client connection runs the
+    :mod:`repro.verifier.wire` handshake first).  ``workers`` dials
+    listening ``jahob-py worker`` processes; ``worker_listen`` opens a
+    :class:`~repro.verifier.remote.WorkerRegistry` on a second TCP port so
+    workers can register themselves (``jahob-py worker --connect``) --
+    both make the daemon dispatch its prover phase remotely.
     """
 
     def __init__(
         self,
-        socket_path: str | Path,
+        address: str | Path,
         engine: VerificationEngine | None = None,
         *,
         jobs: int = 1,
@@ -160,8 +172,36 @@ class VerifierDaemon:
         persist: bool = True,
         use_proof_cache: bool = True,
         timeout_scale: float = 1.0,
+        secret: bytes | None = None,
+        workers: list[str] | str | None = None,
+        worker_listen: str | None = None,
     ) -> None:
-        self.socket_path = Path(socket_path)
+        self.address_kind, _ = parse_address(address)
+        self.socket_path = Path(address) if self.address_kind == "unix" else None
+        self.address = str(address)
+        self.secret = secret
+        if self.address_kind == "tcp" and not secret:
+            raise DaemonError(
+                "serving on TCP requires a shared secret "
+                "(--secret-file or JAHOB_SECRET)"
+            )
+        if workers and not secret:
+            # Same preflight the TCP listener gets: fail at construction,
+            # not deep inside the first dispatching request.
+            raise DaemonError(
+                "--workers requires a shared secret "
+                "(--secret-file or JAHOB_SECRET)"
+            )
+        self.registry = None
+        if worker_listen is not None:
+            from .remote import WorkerRegistry
+
+            if not secret:
+                raise DaemonError(
+                    "a worker registry requires a shared secret "
+                    "(--secret-file or JAHOB_SECRET)"
+                )
+            self.registry = WorkerRegistry(worker_listen, secret)
         if engine is None:
             portfolio = default_portfolio(with_cache=use_proof_cache)
             if timeout_scale != 1.0:
@@ -172,6 +212,9 @@ class VerifierDaemon:
                 jobs=jobs,
                 cache_dir=cache_dir,
                 persist=persist,
+                workers=workers,
+                worker_secret=secret,
+                worker_registry=self.registry,
             )
         engine.keep_pool_warm = True
         self.engine = engine
@@ -180,6 +223,8 @@ class VerifierDaemon:
         self._stopping = False
         self._server: socket.socket | None = None
         self._bound = False  # whether *we* own the socket file
+        self._engine_lock = threading.Lock()
+        self._threads: set[threading.Thread] = set()
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -190,6 +235,16 @@ class VerifierDaemon:
     def bind(self) -> None:
         """Create and bind the listening socket (idempotent)."""
         if self._server is not None:
+            return
+        if self.address_kind == "tcp":
+            try:
+                server = create_listener(self.address)
+            except OSError as exc:
+                raise DaemonError(f"cannot bind {self.address}: {exc}") from exc
+            server.settimeout(0.2)
+            # Resolve ":0" to the actual port for logs and clients.
+            self.address = "%s:%d" % server.getsockname()[:2]
+            self._server = server
             return
         # A stale socket file from a crashed daemon: refuse to steal a
         # *live* daemon's address, silently replace a dead one's -- and
@@ -259,7 +314,8 @@ class VerifierDaemon:
             # listener's fd (orphans after a crash keep the address alive
             # and block stale-socket takeover), workers forked mid-request
             # would inherit the accepted connection fd, and the first
-            # request would pay pool start-up.
+            # request would pay pool start-up.  (Remote backends merely
+            # dial out here; nothing is forked.)
             self.engine.warm_pool()
             self.bind()
             while not self._stopping:
@@ -278,9 +334,23 @@ class VerifierDaemon:
                     if self._stopping:
                         break
                     raise
-                with connection:
-                    self._serve_connection(connection)
+                self._threads = {
+                    thread for thread in self._threads if thread.is_alive()
+                }
+                thread = threading.Thread(
+                    target=self._serve_connection_thread,
+                    args=(connection,),
+                    name="jahob-daemon-request",
+                    daemon=True,
+                )
+                self._threads.add(thread)
+                thread.start()
         finally:
+            # Let in-flight requests finish writing their responses (the
+            # shutdown op's own response among them) before tearing the
+            # engine down under their feet.
+            for thread in tuple(self._threads):
+                thread.join(timeout=_IO_TIMEOUT)
             self.close()
 
     def stop(self) -> None:
@@ -308,37 +378,53 @@ class VerifierDaemon:
         if self._server is not None:
             self._server.close()
             self._server = None
-        self.engine.close()
+        if self.registry is not None:
+            self.registry.close()
+        # Never tear the engine down under a still-running engine op: if
+        # a request thread outlived the bounded join in serve_forever,
+        # waiting on the lock here is what keeps the flush-on-shutdown
+        # guarantee (a flush racing a cache-mutating verify is not a
+        # flush).
+        with self._engine_lock:
+            self.engine.close()
 
     # -- one request -------------------------------------------------------------
 
+    def _serve_connection_thread(self, connection: socket.socket) -> None:
+        try:
+            self._serve_connection(connection)
+        finally:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
     def _serve_connection(self, connection: socket.socket) -> None:
         connection.settimeout(_IO_TIMEOUT)
+        channel = LineChannel(connection, limit=_MAX_REQUEST_BYTES)
+        if self.address_kind == "tcp":
+            try:
+                handshake_accept(channel, self.secret, expect_role="client")
+            except (WireError, HandshakeError):
+                # An unauthenticated peer gets nothing, not even an op
+                # error; handshake_accept already said "handshake failed".
+                return
         try:
             try:
-                raw = self._recv_line(connection)
-                request = json.loads(raw.decode("utf-8"))
-                if not isinstance(request, dict):
-                    raise ValueError("request must be a JSON object")
-            except DaemonError as exc:
-                # Protocol violation (oversized request): still answer,
-                # so the client can tell it from a daemon crash.
+                request = channel.recv()
+            except WireError as exc:
+                # Protocol violation (oversized request, bad JSON): still
+                # answer, so the client can tell it from a daemon crash.
                 response = {"ok": False, "error": str(exc)}
-            except (ValueError, UnicodeDecodeError) as exc:
-                response = {"ok": False, "error": f"bad request: {exc}"}
             else:
+                if request is None:
+                    return  # clean hang-up before any request
                 response = self.handle(request)
-            connection.sendall(
-                json.dumps(response, separators=(",", ":")).encode("utf-8") + b"\n"
-            )
-        except OSError:
+            channel.send(response)
+        except (OSError, WireError):
             # A client that hung up mid-request costs us nothing; the
             # daemon must outlive its clients.
             pass
-
-    @staticmethod
-    def _recv_line(connection: socket.socket) -> bytes:
-        return _read_line(connection, limit=_MAX_REQUEST_BYTES)
 
     # -- request handling ---------------------------------------------------------
 
@@ -346,21 +432,37 @@ class VerifierDaemon:
         """Execute one request object and return the response object.
 
         Exposed directly (besides the socket loop) so tests can exercise
-        op semantics without a live socket.
+        op semantics without a live socket.  Engine-driving ops serialize
+        on the engine lock; with ``"nowait": true`` a busy engine is
+        reported instead of waited for.
         """
         op = request.get("op")
         handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
         if handler is None:
             return {"ok": False, "error": f"unknown op {op!r}"}
-        self.requests_served += 1
-        start = time.monotonic()
+        locked = False
+        if op in _ENGINE_OPS:
+            locked = self._engine_lock.acquire(blocking=not request.get("nowait"))
+            if not locked:
+                return {
+                    "ok": False,
+                    "busy": True,
+                    "error": "daemon busy: the engine is serving another "
+                    "request (drop 'nowait' to queue)",
+                }
         try:
-            response = handler(request)
-        except Exception as exc:  # noqa: BLE001 - the daemon must survive any op
-            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-        response.setdefault("ok", True)
-        response["elapsed"] = time.monotonic() - start
-        return response
+            self.requests_served += 1
+            start = time.monotonic()
+            try:
+                response = handler(request)
+            except Exception as exc:  # noqa: BLE001 - must survive any op
+                return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            response.setdefault("ok", True)
+            response["elapsed"] = time.monotonic() - start
+            return response
+        finally:
+            if locked:
+                self._engine_lock.release()
 
     def _op_ping(self, request: dict) -> dict:
         return {
@@ -429,6 +531,18 @@ class VerifierDaemon:
                 "path": str(self.engine.persistent_store.path),
                 "status": self.engine.persistent_store.last_load_status,
             }
+        if self.engine.uses_remote_workers:
+            pool = self.engine._pool
+            response["remote_workers"] = {
+                "configured": list(self.engine.remote_workers),
+                "registry": (
+                    self.registry.address if self.registry is not None else None
+                ),
+                "connected": [
+                    worker.label
+                    for worker in getattr(pool, "_workers", ())
+                ],
+            }
         return response
 
     def _op_shutdown(self, request: dict) -> dict:
@@ -444,51 +558,61 @@ class VerifierDaemon:
 
 
 class DaemonClient:
-    """Talk to a :class:`VerifierDaemon` over its unix socket.
+    """Talk to a :class:`VerifierDaemon` over its unix or TCP socket.
 
-    One request per connection, mirroring the server.  ``timeout`` bounds
-    the *connect* phase only; a verification request may legitimately run
-    for minutes, so reads wait indefinitely once connected.
+    One request per connection, mirroring the server.  ``connect_timeout``
+    bounds the connect phase (and, for TCP, the handshake); a verification
+    request may legitimately run for minutes, so reads wait indefinitely
+    once connected.  TCP addresses require the daemon's shared ``secret``.
     """
 
-    def __init__(self, socket_path: str | Path, connect_timeout: float = 5.0) -> None:
-        self.socket_path = Path(socket_path)
+    def __init__(
+        self,
+        address: str | Path,
+        connect_timeout: float = 5.0,
+        secret: bytes | None = None,
+    ) -> None:
+        self.address = str(address)
+        self.is_tcp = parse_address(address)[0] == "tcp"
         self.connect_timeout = connect_timeout
+        self.secret = secret
 
     def request(self, payload: dict) -> dict:
         """Send one request object and return the parsed response object."""
-        client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.is_tcp and not self.secret:
+            raise DaemonError(
+                f"connecting to the TCP daemon at {self.address} requires "
+                "a shared secret (--secret-file or JAHOB_SECRET)"
+            )
         try:
-            client.settimeout(self.connect_timeout)
+            sock = connect_address(self.address, timeout=self.connect_timeout)
+        except OSError as exc:
+            raise DaemonError(
+                f"cannot connect to daemon at {self.address}: {exc}"
+            ) from exc
+        channel = LineChannel(sock)
+        try:
+            if self.is_tcp:
+                try:
+                    handshake_connect(channel, self.secret, role="client")
+                except (WireError, HandshakeError) as exc:
+                    raise DaemonError(
+                        f"handshake with daemon at {self.address} "
+                        f"failed: {exc}"
+                    ) from exc
+            sock.settimeout(None)
             try:
-                client.connect(str(self.socket_path))
-            except OSError as exc:
-                raise DaemonError(
-                    f"cannot connect to daemon at {self.socket_path}: {exc}"
-                ) from exc
-            client.settimeout(None)
-            try:
-                client.sendall(
-                    json.dumps(payload, separators=(",", ":")).encode("utf-8")
-                    + b"\n"
-                )
-                client.shutdown(socket.SHUT_WR)
-                raw = _read_line(client)
-            except OSError as exc:
+                channel.send(payload)
+                response = channel.recv()
+            except WireError as exc:
                 # E.g. the daemon shut down between our connect and send.
                 raise DaemonError(
-                    f"lost connection to daemon at {self.socket_path}: {exc}"
+                    f"lost connection to daemon at {self.address}: {exc}"
                 ) from exc
         finally:
-            client.close()
-        if not raw:
+            channel.close()
+        if response is None:
             raise DaemonError("daemon closed the connection without a response")
-        try:
-            response = json.loads(raw.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as exc:
-            raise DaemonError(f"malformed daemon response: {exc}") from exc
-        if not isinstance(response, dict):
-            raise DaemonError("malformed daemon response: not an object")
         return response
 
     # Small conveniences used by the CLI and the tests.

@@ -23,7 +23,6 @@ from pathlib import Path
 from ..frontend.ast import ClassModel, Method
 from ..frontend.lower import lower_method
 from ..gcl.desugar import Desugarer
-from ..logic.terms import free_var_names
 from ..provers.cache import PersistentCacheStore, ProofCache
 from ..provers.dispatch import (
     DispatchResult,
@@ -148,6 +147,16 @@ class VerificationEngine:
     pool down afterwards, as before.  Engines are context managers:
     leaving the ``with`` block calls :meth:`close`, which flushes the
     persistent cache and shuts any warm pool down.
+
+    ``workers`` switches the dispatch backend from the in-process pool to
+    **distributed workers** (:mod:`repro.verifier.remote`): a list (or
+    comma-separated string) of ``HOST:PORT`` addresses of listening
+    ``jahob-py worker`` processes, authenticated with ``worker_secret``.
+    ``worker_registry`` additionally (or instead) supplies workers that
+    registered with a coordinator-side
+    :class:`~repro.verifier.remote.WorkerRegistry`.  The parent keeps all
+    cache authority either way, so verdicts stay bit-identical to
+    sequential runs.
     """
 
     def __init__(
@@ -161,6 +170,9 @@ class VerificationEngine:
         cache_dir: str | Path | None = None,
         persist: bool = True,
         keep_pool_warm: bool = False,
+        workers: list[str] | tuple[str, ...] | str | None = None,
+        worker_secret: bytes | None = None,
+        worker_registry=None,
     ) -> None:
         if portfolio is None:
             portfolio = default_portfolio(with_cache=use_proof_cache)
@@ -175,7 +187,20 @@ class VerificationEngine:
         self.apply_from_clauses = apply_from_clauses
         self.use_relevance_filter = use_relevance_filter
         self.runtime_checks = runtime_checks
-        self.jobs = max(1, int(jobs))
+        if isinstance(workers, str):
+            workers = [piece.strip() for piece in workers.split(",") if piece.strip()]
+        self.remote_workers: tuple[str, ...] = tuple(workers) if workers else ()
+        self.worker_secret = worker_secret
+        self.worker_registry = worker_registry
+        jobs = max(1, int(jobs))
+        if self.uses_remote_workers:
+            # The effective parallelism of a remote engine is its worker
+            # count; ``jobs`` survives only as the statistics label.
+            jobs = max(
+                jobs,
+                len(self.remote_workers) + (1 if worker_registry is not None else 0),
+            )
+        self.jobs = jobs
         self.persist = persist
         self.keep_pool_warm = keep_pool_warm
         self.persistent_store: PersistentCacheStore | None = None
@@ -257,7 +282,7 @@ class VerificationEngine:
         """
         target = strip_proofs_from_class(cls) if strip_proofs else cls
         jobs = self.jobs if parallel is None else max(1, int(parallel))
-        if jobs > 1:
+        if jobs > 1 or self.uses_remote_workers:
             from .parallel import verify_class_parallel
 
             report, run_stats = verify_class_parallel(self, target, jobs)
@@ -306,27 +331,49 @@ class VerificationEngine:
 
     # -- worker-pool management -----------------------------------------------------
 
-    def acquire_pool(self, spec, jobs: int, shard_size: int | None = None):
-        """A :class:`~repro.verifier.parallel.ProverPool` for one run.
+    @property
+    def uses_remote_workers(self) -> bool:
+        """Whether dispatch goes to distributed workers instead of an
+        in-process pool."""
+        return bool(self.remote_workers) or self.worker_registry is not None
 
-        With ``keep_pool_warm`` the engine caches the pool and hands the
-        same (possibly already started) instance back for every matching
-        run; otherwise a fresh per-run pool is returned, sized down to
-        ``shard_size`` so small shards don't fork idle workers.  Pass the
-        pool to :meth:`release_pool` when the run is done.
-        """
+    def _new_pool(self, spec, jobs: int, shard_size: int | None):
+        """Build a fresh :class:`~repro.verifier.parallel.WorkerBackend`
+        for ``spec``: remote when workers are configured, the in-process
+        pool otherwise."""
+        if self.uses_remote_workers:
+            from .remote import RemoteWorkerPool
+
+            return RemoteWorkerPool(
+                spec,
+                self.remote_workers,
+                registry=self.worker_registry,
+                secret=self.worker_secret,
+            )
         from .parallel import ProverPool
 
+        if shard_size is not None:
+            jobs = min(jobs, shard_size)
+        return ProverPool(spec, jobs)
+
+    def acquire_pool(self, spec, jobs: int, shard_size: int | None = None):
+        """A :class:`~repro.verifier.parallel.WorkerBackend` for one run.
+
+        With ``keep_pool_warm`` the engine caches the backend and hands
+        the same (possibly already started) instance back for every
+        matching run; otherwise a fresh per-run backend is returned --
+        in-process pools sized down to ``shard_size`` so small shards
+        don't fork idle workers.  Pass the backend to
+        :meth:`release_pool` when the run is done.
+        """
         if self.keep_pool_warm:
             if self._pool is not None and not self._pool.matches(spec, jobs):
                 self._pool.close()
                 self._pool = None
             if self._pool is None:
-                self._pool = ProverPool(spec, jobs)
+                self._pool = self._new_pool(spec, jobs, None)
             return self._pool
-        if shard_size is not None:
-            jobs = min(jobs, shard_size)
-        return ProverPool(spec, jobs)
+        return self._new_pool(spec, jobs, shard_size)
 
     @property
     def pool_warm(self) -> bool:
@@ -342,7 +389,9 @@ class VerificationEngine:
         start-up.  No-op for sequential engines or without
         ``keep_pool_warm``.
         """
-        if self.jobs <= 1 or not self.keep_pool_warm or self.pool_warm:
+        if self.jobs <= 1 and not self.uses_remote_workers:
+            return
+        if not self.keep_pool_warm or self.pool_warm:
             return
         spec = PortfolioSpec.from_portfolio(self.portfolio)
         self.acquire_pool(spec, self.jobs).warm_up()

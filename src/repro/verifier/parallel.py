@@ -59,6 +59,7 @@ from ..vcgen.sequent import Sequent
 __all__ = [
     "ParallelRunStats",
     "WorkerLoad",
+    "WorkerBackend",
     "ProverPool",
     "plan_class",
     "run_shard",
@@ -71,18 +72,30 @@ __all__ = [
 
 @dataclass
 class WorkerLoad:
-    """Per-worker-process accounting of one parallel run."""
+    """Per-worker accounting of one parallel run.
 
-    pid: int
+    ``pid`` is the worker's identity: the OS pid for in-process pool
+    workers, a ``host/pid`` label for remote workers
+    (:mod:`repro.verifier.remote`) -- the per-worker provenance in
+    ``--perf`` output either way.
+    """
+
+    pid: int | str
     tasks: int = 0
     prover_time: float = 0.0
 
 
 @dataclass
 class ParallelRunStats:
-    """Scheduling statistics of one :func:`verify_class_parallel` run."""
+    """Scheduling statistics of one :func:`verify_class_parallel` run.
+
+    ``backend`` names the worker backend that ran the shard:
+    ``"process"`` for the in-process pool (and the ``jobs <= 1``
+    in-parent path), ``"remote"`` for distributed workers.
+    """
 
     jobs: int
+    backend: str = "process"
     sequents_total: int = 0
     dispatched: int = 0
     hits_disk: int = 0
@@ -106,6 +119,8 @@ class ParallelRunStats:
 
     def merge(self, other: "ParallelRunStats") -> None:
         """Fold another run's numbers in (used across classes of a suite)."""
+        if other.backend != "process":
+            self.backend = other.backend
         self.sequents_total += other.sequents_total
         self.dispatched += other.dispatched
         self.hits_disk += other.hits_disk
@@ -148,7 +163,48 @@ def _dispatch_in_worker(item: tuple[int, ProofTask]):
     return index, os.getpid(), time.monotonic() - start, result
 
 
-class ProverPool:
+class WorkerBackend:
+    """The surface a shard-dispatch backend exposes to the engine.
+
+    Two implementations exist: :class:`ProverPool` (an in-process
+    ``ProcessPoolExecutor``) and
+    :class:`~repro.verifier.remote.RemoteWorkerPool` (distributed workers
+    over TCP).  :func:`run_shard`, the engine's pool management
+    (``acquire_pool`` / ``release_pool`` / ``warm_pool``) and the daemon
+    drive both through exactly this interface, so backends differ only in
+    where the pure prover phase executes -- never in verdicts, which the
+    differential harnesses assert for both.
+    """
+
+    #: Human-readable backend name, recorded in ``ParallelRunStats.backend``.
+    backend_name = "process"
+
+    def matches(self, spec: PortfolioSpec, jobs: int) -> bool:
+        """Whether this (possibly warm) backend can serve a run with
+        ``spec`` and ``jobs``."""
+        raise NotImplementedError
+
+    @property
+    def started(self) -> bool:
+        """Whether worker processes/connections exist yet."""
+        raise NotImplementedError
+
+    def warm_up(self) -> None:
+        """Start every worker now instead of on first dispatch."""
+        raise NotImplementedError
+
+    def run(self, items: list[tuple[int, ProofTask]]):
+        """Dispatch ``(shard_index, task)`` pairs; yield ``(shard_index,
+        worker_identity, prover_wall_seconds, DispatchResult)`` tuples in
+        completion order."""
+        raise NotImplementedError
+
+    def close(self, cancel_futures: bool = False) -> None:
+        """Release every worker; ``cancel_futures`` drops queued work."""
+        raise NotImplementedError
+
+
+class ProverPool(WorkerBackend):
     """A worker pool bound to one portfolio spec, reusable across runs.
 
     The underlying ``ProcessPoolExecutor`` is created lazily on the first
@@ -291,10 +347,12 @@ def run_shard(
     ``order`` optionally reorders *dispatch* (a permutation of shard
     indices -- the suite scheduler passes longest-class-first); the
     returned list is always indexed by shard position, so the merge stays
-    deterministic regardless of dispatch order.  With ``jobs <= 1`` the
-    provers run in-process on the parent's portfolio (no pool), which is
-    what makes a suite-scheduled ``--jobs 1`` run behave exactly like the
-    sequential engine modulo scheduling bookkeeping.
+    deterministic regardless of dispatch order.  With ``jobs <= 1`` (and
+    no remote workers configured on the engine) the provers run
+    in-process on the parent's portfolio (no pool), which is what makes a
+    suite-scheduled ``--jobs 1`` run behave exactly like the sequential
+    engine modulo scheduling bookkeeping.  An engine with remote workers
+    always dispatches through its :class:`WorkerBackend`.
 
     ``on_result(slot, result)`` is called in the parent as each verdict
     arrives (completion order, not merge order); the suite scheduler uses
@@ -307,7 +365,7 @@ def run_shard(
         indexed = [(slot.shard_index, slot.task) for slot in shard]
         if order is not None:
             indexed = [indexed[position] for position in order]
-        if jobs <= 1:
+        if jobs <= 1 and not getattr(engine, "uses_remote_workers", False):
             pid = os.getpid()
             for index, task in indexed:
                 task_start = time.monotonic()
@@ -318,6 +376,7 @@ def run_shard(
         else:
             spec = PortfolioSpec.from_portfolio(engine.portfolio)
             pool = engine.acquire_pool(spec, jobs, shard_size=len(shard))
+            stats.backend = pool.backend_name
             try:
                 for index, pid, wall, result in pool.run(indexed):
                     results[index] = result
@@ -330,7 +389,7 @@ def run_shard(
                 engine.release_pool(pool, broken=True)
                 raise
             engine.release_pool(pool)
-        stats.workers.sort(key=lambda load: load.pid)
+        stats.workers.sort(key=lambda load: str(load.pid))
     stats.wall_time += time.monotonic() - start
     return results
 

@@ -263,11 +263,19 @@ def _dispatch_counter_lines(stats) -> list[str]:
 
 
 def _worker_load_lines(stats) -> list[str]:
+    """One line per worker; the identity is an OS pid for the in-process
+    pool and a ``host/pid`` label for remote workers, so distributed runs
+    carry per-worker provenance in the same report."""
     return [
-        f"  worker {load.pid:<12} {load.tasks} sequents, "
+        f"  worker {str(load.pid):<12} {load.tasks} sequents, "
         f"{load.prover_time:.1f}s"
         for load in stats.workers
     ]
+
+
+def _backend_suffix(stats) -> str:
+    backend = getattr(stats, "backend", "process")
+    return "" if backend == "process" else f", {backend} workers"
 
 
 def format_parallel(stats) -> str:
@@ -275,7 +283,7 @@ def format_parallel(stats) -> str:
 
     ``stats`` is a :class:`~repro.verifier.parallel.ParallelRunStats`.
     """
-    lines = [f"Parallel dispatch ({stats.jobs} jobs)"]
+    lines = [f"Parallel dispatch ({stats.jobs} jobs{_backend_suffix(stats)})"]
     lines += _dispatch_counter_lines(stats)
     lines += _worker_load_lines(stats)
     return "\n".join(lines)
@@ -289,7 +297,7 @@ def format_suite(stats) -> str:
     breakdown and the longest-class-first dispatch order.
     """
     lines = [
-        f"Suite schedule ({stats.jobs} jobs)",
+        f"Suite schedule ({stats.jobs} jobs{_backend_suffix(stats)})",
         f"  dispatch order      {', '.join(stats.schedule_order)}",
     ]
     lines += _dispatch_counter_lines(stats)

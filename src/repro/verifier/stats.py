@@ -14,8 +14,6 @@ from dataclasses import dataclass, field
 
 from ..frontend.ast import (
     ClassModel,
-    Method,
-    ProofStmt,
     Stmt,
     While,
     count_proof_constructs,

@@ -4,12 +4,10 @@ import pytest
 
 from repro.frontend import count_proof_constructs, count_statements, lower_method
 from repro.frontend.lower import LoweringError
-from repro.gcl import SAssert, format_simple
+from repro.gcl import format_simple
 from repro.gcl.desugar import desugar
-from repro.logic.terms import subterms, App
 from repro.provers import default_portfolio
 from repro.suite.common import StructureBuilder
-from repro.vcgen import generate_sequents
 from repro.verifier import class_statistics, strip_proofs_from_class
 
 

@@ -3,7 +3,6 @@
 from repro.gcl import (
     Assign,
     Assume,
-    Choice,
     Havoc,
     If,
     Loop,
@@ -22,7 +21,7 @@ from repro.gcl import (
     sskip,
     wlp,
 )
-from repro.logic import And, Eq, Implies, Int, IntVar, Lt, Var
+from repro.logic import And, Eq, Implies, Int, IntVar, Lt
 from repro.logic.evaluator import Interpretation, holds
 from repro.logic.terms import Binder, FORALL
 

@@ -9,7 +9,7 @@ from repro.logic.nnf import eliminate_sugar, prenex, skolemize, to_nnf
 from repro.logic.parser import parse_formula
 from repro.logic import builder as b
 from repro.logic.simplify import simplify
-from repro.logic.terms import App, BoolLit, Var, contains_quantifier, free_vars
+from repro.logic.terms import App, BoolLit, contains_quantifier, free_vars
 
 ENV = {
     "size": INT,

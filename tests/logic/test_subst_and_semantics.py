@@ -3,7 +3,6 @@
 from hypothesis import given, settings, strategies as st
 
 from repro.logic import (
-    INT,
     And,
     Eq,
     Exists,
@@ -15,7 +14,6 @@ from repro.logic import (
     Not,
     Or,
     Plus,
-    Var,
     alpha_equal,
     instantiate_binder,
     substitute,

@@ -141,7 +141,7 @@ class TestInvalidation:
         assert store.last_load_status == "cold:format-mismatch"
 
     def test_portfolio_mismatch_cold_start(self, tmp_path):
-        store = self._write_payload(tmp_path)
+        self._write_payload(tmp_path)
         other = PersistentCacheStore(tmp_path, "smt:8;fol:2")
         assert other.load() == {}
         assert other.last_load_status == "cold:portfolio-mismatch"

@@ -18,7 +18,7 @@ from pathlib import Path
 import repro
 from repro.logic import builder as b
 from repro.logic.sorts import INT, OBJ, FunSort, MapSort, SetSort, Sort, TupleSort
-from repro.logic.terms import App, Binder, Const, IntLit, Var
+from repro.logic.terms import Const, IntLit, Var
 from repro.provers.dispatch import default_portfolio
 from repro.provers.result import ProofTask
 from repro.suite import all_structures

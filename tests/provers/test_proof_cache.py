@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from repro.logic import builder as b
-from repro.logic.sorts import INT
 from repro.logic.terms import Var
 from repro.provers.cache import ProofCache, task_fingerprint, term_fingerprint
 from repro.provers.dispatch import (

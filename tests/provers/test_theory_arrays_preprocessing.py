@@ -3,7 +3,6 @@
 from repro.logic import INT, OBJ, map_of, set_of
 from repro.logic.clauses import Literal
 from repro.logic.parser import parse_formula, parse_term
-from repro.logic.terms import App
 from repro.provers.arrays import select_store_lemmas
 from repro.provers.quant import InstantiationEngine, collect_ground_terms
 from repro.provers.result import ProofTask

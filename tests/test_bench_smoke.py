@@ -152,3 +152,28 @@ def test_table1_suite_scheduled_smoke(tmp_path):
     assert stats.dispatched + stats.hits_memory + stats.hits_disk + (
         stats.duplicates_folded
     ) == stats.sequents_total
+
+
+def test_bench_table1_smoke_mode_json(tmp_path, capsys):
+    """The CI artifact entry point: ``--smoke --json PATH`` writes a valid
+    record, prints it, and exits 0 when everything verifies."""
+    import json
+
+    out = tmp_path / "bench-smoke.json"
+    assert bench_table1.main(["--smoke", "--json", str(out)]) == 0
+    record = json.loads(out.read_text())
+    assert record["mode"] == "smoke" and record["jobs"] == 2
+    assert record == json.loads(capsys.readouterr().out)
+    names = {cls["name"] for cls in record["classes"]}
+    assert names == set(bench_table1.SMOKE_STRUCTURES)
+    assert all(cls["verified"] for cls in record["classes"])
+    dispatch = record["dispatch"]
+    assert (
+        dispatch["dispatched"]
+        + dispatch["hits_memory"]
+        + dispatch["hits_disk"]
+        + dispatch["duplicates_folded"]
+        == dispatch["sequents_total"]
+    )
+    assert record["wall_seconds"] > 0
+    assert record["counters"]["sequents_proved"] >= dispatch["sequents_total"]

@@ -1,0 +1,128 @@
+"""Tier-1 validation of the GitHub Actions pipeline.
+
+The acceptance bar for the CI satellite is "passes a local act-style dry
+run or syntax validation"; this is the syntax-validation half, kept in
+tier 1 so the workflow cannot drift from the repo it tests:
+
+* the YAML parses and has the structural shape Actions expects;
+* the tier-1 job runs the exact ROADMAP tier-1 command;
+* the slow job is gated off plain pushes (schedule / dispatch / label);
+* the benchmark smoke step and its artifact upload stay wired to a
+  script entry point that actually exists and stays runnable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import yaml
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+WORKFLOW = REPO_ROOT / ".github" / "workflows" / "ci.yml"
+
+
+def load_workflow() -> dict:
+    data = yaml.safe_load(WORKFLOW.read_text(encoding="utf-8"))
+    assert isinstance(data, dict), "workflow must be a YAML mapping"
+    return data
+
+
+def all_run_lines(job: dict) -> str:
+    return "\n".join(
+        step.get("run", "") for step in job["steps"] if isinstance(step, dict)
+    )
+
+
+def test_workflow_parses_and_has_required_jobs():
+    data = load_workflow()
+    assert data.get("name")
+    # PyYAML parses the bare `on:` key as boolean True.
+    triggers = data.get("on", data.get(True))
+    assert isinstance(triggers, dict)
+    assert "push" in triggers and "pull_request" in triggers
+    assert "schedule" in triggers
+    crons = [entry.get("cron") for entry in triggers["schedule"]]
+    assert all(isinstance(cron, str) and len(cron.split()) == 5 for cron in crons)
+    jobs = data["jobs"]
+    assert {"tier1", "lint", "slow"} <= set(jobs)
+    for name, job in jobs.items():
+        assert job.get("runs-on"), f"job {name} has no runner"
+        assert isinstance(job.get("steps"), list) and job["steps"], name
+        assert job.get("timeout-minutes"), f"job {name} has no timeout"
+        for step in job["steps"]:
+            assert "run" in step or "uses" in step, (name, step)
+
+
+def test_tier1_job_runs_the_roadmap_command():
+    jobs = load_workflow()["jobs"]
+    runs = all_run_lines(jobs["tier1"])
+    # The exact tier-1 verify command from ROADMAP.md.
+    assert "PYTHONPATH=src python -m pytest -x -q" in runs
+    roadmap = (REPO_ROOT / "ROADMAP.md").read_text(encoding="utf-8")
+    assert "python -m pytest -x -q" in roadmap
+
+
+def test_tier1_pip_cache_is_keyed_on_setup_py():
+    jobs = load_workflow()["jobs"]
+    setup_steps = [
+        step
+        for step in jobs["tier1"]["steps"]
+        if "setup-python" in step.get("uses", "")
+    ]
+    assert setup_steps, "tier1 must use actions/setup-python"
+    with_block = setup_steps[0]["with"]
+    assert with_block.get("cache") == "pip"
+    assert with_block.get("cache-dependency-path") == "setup.py"
+    assert (REPO_ROOT / "setup.py").exists()
+
+
+def test_bench_smoke_step_and_artifact():
+    jobs = load_workflow()["jobs"]
+    runs = all_run_lines(jobs["tier1"])
+    assert "benchmarks/bench_table1.py" in runs and "--smoke" in runs
+    assert "--json" in runs
+    uploads = [
+        step
+        for step in jobs["tier1"]["steps"]
+        if "upload-artifact" in step.get("uses", "")
+    ]
+    assert uploads, "tier1 must upload the benchmark record"
+    assert "bench-smoke.json" in uploads[0]["with"]["path"]
+    # The script entry the workflow calls must exist and stay arg-parsable.
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        import bench_table1
+
+        assert callable(bench_table1.main)
+        assert callable(bench_table1.run_smoke)
+    finally:
+        sys.path.pop(0)
+
+
+def test_lint_job_runs_ruff_with_committed_config():
+    jobs = load_workflow()["jobs"]
+    runs = all_run_lines(jobs["lint"])
+    assert "ruff check" in runs
+    assert "ruff format --check" in runs
+    assert (REPO_ROOT / "ruff.toml").exists(), "ruff config must be committed"
+
+
+def test_slow_job_is_gated():
+    jobs = load_workflow()["jobs"]
+    slow = jobs["slow"]
+    condition = slow.get("if", "")
+    assert "schedule" in condition
+    assert "run-slow" in condition
+    assert "pull_request" in condition
+    assert slow.get("needs") == "tier1"
+    assert "-m slow" in all_run_lines(slow)
+
+
+def test_workflow_expressions_are_balanced():
+    """Cheap guard against the classic broken-`${{`-interpolation commit."""
+    text = WORKFLOW.read_text(encoding="utf-8")
+    assert text.count("${{") == text.count("}}")
+    for line in text.splitlines():
+        assert "\t" not in line, "YAML must not contain tabs"

@@ -1,7 +1,7 @@
 """VC generation: splitting (Figure 7), sequents, assumption-base control."""
 
 from repro.gcl import SAssert, SAssume, SHavoc, schoice, sseq
-from repro.logic import INT, IntVar, Var
+from repro.logic import INT, IntVar
 from repro.logic.parser import parse_formula
 from repro.provers import default_portfolio
 from repro.vcgen import (

@@ -1,0 +1,136 @@
+"""Direct coverage for :mod:`repro.verifier.strip` (the Table 2 ablation).
+
+The stripper was previously exercised only through ``verify_class(...,
+strip_proofs=True)``; these tests pin its structural contract down on
+hand-built methods (nested control flow, ``from`` clauses) and on the real
+catalogue (no proof construct survives anywhere, plain specifications stay
+untouched, inputs are never mutated).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ast import (
+    AssertStmt,
+    Assign,
+    If,
+    Method,
+    ProofStmt,
+    Stmt,
+    While,
+)
+from repro.logic.terms import TRUE, Var
+from repro.logic.sorts import BOOL, INT
+from repro.proofs.constructs import Note
+from repro.suite import all_structures
+from repro.verifier.strip import strip_proofs_from_class, strip_proofs_from_method
+
+
+def _note(label: str) -> ProofStmt:
+    return ProofStmt(Note(label, TRUE))
+
+
+def _walk(statements: tuple[Stmt, ...]):
+    for statement in statements:
+        yield statement
+        yield from _walk(statement.substatements())
+
+
+def build_method() -> Method:
+    x = Var("x", INT)
+    cond = Var("c", BOOL)
+    body = (
+        _note("top"),
+        Assign(x, x),
+        AssertStmt(TRUE, label="WithFrom", from_hints=("inv1", "inv2")),
+        If(
+            cond,
+            then_branch=(_note("then"), Assign(x, x)),
+            else_branch=(
+                While(cond, TRUE, body=(_note("loop"), Assign(x, x))),
+            ),
+        ),
+    )
+    return Method(name="m", body=body, locals=(x, cond))
+
+
+class TestHandBuiltMethod:
+    def test_proof_statements_removed_everywhere(self):
+        stripped = strip_proofs_from_method(build_method())
+        assert all(
+            not isinstance(stmt, ProofStmt) for stmt in _walk(stripped.body)
+        )
+        # Nested structure survives: the If and its While are still there.
+        kinds = [type(stmt).__name__ for stmt in _walk(stripped.body)]
+        assert "If" in kinds and "While" in kinds
+
+    def test_from_hints_are_cleared_but_assert_kept(self):
+        stripped = strip_proofs_from_method(build_method())
+        asserts = [
+            stmt for stmt in _walk(stripped.body) if isinstance(stmt, AssertStmt)
+        ]
+        assert len(asserts) == 1
+        assert asserts[0].label == "WithFrom"
+        assert asserts[0].from_hints == ()
+
+    def test_ordinary_statements_survive_in_order(self):
+        stripped = strip_proofs_from_method(build_method())
+        top_level = [type(stmt).__name__ for stmt in stripped.body]
+        assert top_level == ["Assign", "AssertStmt", "If"]
+
+    def test_original_method_is_untouched(self):
+        method = build_method()
+        strip_proofs_from_method(method)
+        assert isinstance(method.body[0], ProofStmt)
+        assert method.body[2].from_hints == ("inv1", "inv2")
+
+    def test_idempotent(self):
+        once = strip_proofs_from_method(build_method())
+        twice = strip_proofs_from_method(once)
+        assert once == twice
+
+    def test_method_without_proofs_is_structurally_identical(self):
+        x = Var("x", INT)
+        method = Method(name="plain", body=(Assign(x, x),), locals=(x,))
+        assert strip_proofs_from_method(method) == method
+
+
+class TestCatalogue:
+    def test_no_proof_construct_survives_any_class(self):
+        for cls in all_structures():
+            stripped = strip_proofs_from_class(cls)
+            for method in stripped.methods:
+                for stmt in _walk(method.body):
+                    assert not isinstance(stmt, ProofStmt), (
+                        cls.name,
+                        method.name,
+                    )
+                    if isinstance(stmt, AssertStmt):
+                        assert stmt.from_hints == (), (cls.name, method.name)
+
+    def test_specifications_are_kept(self):
+        for cls in all_structures():
+            stripped = strip_proofs_from_class(cls)
+            assert stripped.name == cls.name
+            assert stripped.invariants == cls.invariants
+            assert stripped.spec_vars == cls.spec_vars
+            assert len(stripped.methods) == len(cls.methods)
+            for original, bare in zip(cls.methods, stripped.methods):
+                assert bare.name == original.name
+                assert bare.contract == original.contract
+                # While loops keep their invariants.
+                for stmt in _walk(bare.body):
+                    if isinstance(stmt, While):
+                        assert stmt.invariant is not None
+
+    def test_catalogue_actually_contains_proofs_to_strip(self):
+        # Guard the guards: if the catalogue lost its proof constructs,
+        # the tests above would pass vacuously.
+        total = 0
+        for cls in all_structures():
+            for method in cls.methods:
+                total += sum(
+                    1
+                    for stmt in _walk(method.body)
+                    if isinstance(stmt, ProofStmt)
+                )
+        assert total > 10

@@ -1,0 +1,169 @@
+"""Unit tests for the shared wire layer (framing, addresses, handshake)."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.verifier.wire import (
+    HandshakeError,
+    LineChannel,
+    WireError,
+    decode_payload,
+    encode_payload,
+    format_address,
+    handshake_accept,
+    handshake_connect,
+    is_tcp_address,
+    load_secret,
+    parse_address,
+)
+
+
+def channel_pair() -> tuple[LineChannel, LineChannel]:
+    left, right = socket.socketpair()
+    return LineChannel(left), LineChannel(right)
+
+
+class TestAddresses:
+    def test_host_port_is_tcp(self):
+        assert parse_address("127.0.0.1:8700") == ("tcp", ("127.0.0.1", 8700))
+        assert parse_address(":9000") == ("tcp", ("0.0.0.0", 9000))
+        assert parse_address("example.org:1") == ("tcp", ("example.org", 1))
+
+    def test_paths_are_unix(self):
+        assert parse_address(".jahob.sock") == ("unix", ".jahob.sock")
+        assert parse_address("/tmp/with:colon/x.sock")[0] == "unix"
+        assert parse_address("relative/dir/jahob.sock")[0] == "unix"
+        assert parse_address("host:notaport")[0] == "unix"
+
+    def test_is_tcp_and_format(self):
+        assert is_tcp_address("h:1") and not is_tcp_address("h.sock")
+        assert format_address("127.0.0.1:80") == "127.0.0.1:80"
+        assert format_address("x.sock") == "x.sock"
+
+
+class TestLineChannel:
+    def test_many_messages_one_buffer(self):
+        a, b = channel_pair()
+        # Two messages can land in one recv() chunk; the channel must
+        # buffer past the first newline instead of discarding.
+        a.sock.sendall(b'{"n":1}\n{"n":2}\n')
+        assert b.recv() == {"n": 1}
+        assert b.recv() == {"n": 2}
+        a.close()
+        assert b.recv() is None  # clean EOF between messages
+        b.close()
+
+    def test_send_recv_roundtrip(self):
+        a, b = channel_pair()
+        a.send({"op": "hello", "pid": 42})
+        assert b.recv() == {"op": "hello", "pid": 42}
+        b.send({"ok": True})
+        assert a.recv() == {"ok": True}
+        a.close()
+        b.close()
+
+    def test_eof_mid_message_is_an_error(self):
+        a, b = channel_pair()
+        a.sock.sendall(b'{"trunc')
+        a.close()
+        with pytest.raises(WireError, match="mid-message"):
+            b.recv()
+        b.close()
+
+    def test_oversized_line_is_an_error(self):
+        a, b = channel_pair()
+        b.limit = 64
+        a.sock.sendall(b"x" * 100)
+        with pytest.raises(WireError, match="too large"):
+            b.recv()
+        a.close()
+        b.close()
+
+    def test_non_object_line_is_an_error(self):
+        a, b = channel_pair()
+        a.sock.sendall(b"[1,2]\n")
+        with pytest.raises(WireError, match="not a JSON object"):
+            b.recv()
+        a.close()
+        b.close()
+
+
+def run_handshake(secret_a: bytes, secret_b: bytes, expect_role=None):
+    """Acceptor with ``secret_a`` meets dialer with ``secret_b``."""
+    a, b = channel_pair()
+    results: dict = {}
+
+    def accept():
+        try:
+            results["role"] = handshake_accept(a, secret_a, expect_role)
+        except Exception as exc:  # noqa: BLE001 - recorded for assertions
+            results["accept_error"] = exc
+
+    thread = threading.Thread(target=accept)
+    thread.start()
+    try:
+        handshake_connect(b, secret_b, role="worker")
+    except Exception as exc:  # noqa: BLE001 - recorded for assertions
+        results["connect_error"] = exc
+    thread.join(5.0)
+    a.close()
+    b.close()
+    return results
+
+
+class TestHandshake:
+    def test_matching_secret_succeeds(self):
+        results = run_handshake(b"s3cret", b"s3cret")
+        assert results.get("role") == "worker"
+        assert "accept_error" not in results and "connect_error" not in results
+
+    def test_wrong_secret_fails_both_sides(self):
+        results = run_handshake(b"right", b"wrong")
+        assert isinstance(results.get("accept_error"), HandshakeError)
+        assert isinstance(results.get("connect_error"), HandshakeError)
+
+    def test_unexpected_role_is_rejected(self):
+        results = run_handshake(b"s", b"s", expect_role="client")
+        assert isinstance(results.get("accept_error"), HandshakeError)
+        assert isinstance(results.get("connect_error"), HandshakeError)
+
+    def test_secret_never_crosses_the_wire(self):
+        """Every handshake message is inspectable: none contains the secret."""
+        secret = b"super-secret-value"
+        captured: list[str] = []
+
+        class SniffingChannel(LineChannel):
+            def send(self, message):
+                captured.append(repr(message))
+                super().send(message)
+
+        a_sock, b_sock = socket.socketpair()
+        a, b = SniffingChannel(a_sock), SniffingChannel(b_sock)
+        thread = threading.Thread(target=handshake_accept, args=(a, secret))
+        thread.start()
+        handshake_connect(b, secret, role="worker")
+        thread.join(5.0)
+        a.close()
+        b.close()
+        assert len(captured) >= 3  # challenge, answer, verdict
+        for message in captured:
+            assert secret.decode() not in message
+
+
+class TestPayloadsAndSecrets:
+    def test_payload_roundtrip(self):
+        blob = {"nested": [1, 2, ("a", "b")], "flag": True}
+        assert decode_payload(encode_payload(blob)) == blob
+
+    def test_load_secret_file_beats_env(self, tmp_path, monkeypatch):
+        path = tmp_path / "secret"
+        path.write_text("  from-file\n")
+        monkeypatch.setenv("JAHOB_SECRET", "from-env")
+        assert load_secret(path) == b"from-file"
+        assert load_secret(None) == b"from-env"
+        monkeypatch.delenv("JAHOB_SECRET")
+        assert load_secret(None) is None
