@@ -190,9 +190,7 @@ class _Lowerer:
                     if receiver in seen or receiver == NULL:
                         continue
                     seen.add(receiver)
-                    checks.append(
-                        gc.Assert(b.Neq(receiver, NULL), "NullCheck")
-                    )
+                    checks.append(gc.Assert(b.Neq(receiver, NULL), "NullCheck"))
         return checks
 
     # -- entry / exit --------------------------------------------------------------
@@ -200,18 +198,14 @@ class _Lowerer:
     def _entry(self) -> list[ExtendedCommand]:
         commands: list[ExtendedCommand] = []
         for invariant in self.cls.invariants:
-            commands.append(
-                gc.Assume(self.expand(invariant.formula), invariant.name)
-            )
+            commands.append(gc.Assume(self.expand(invariant.formula), invariant.name))
         commands.append(gc.Assume(self.expand(self.method.contract.requires), "Pre"))
         # Snapshot the entire concrete + ghost state so ``old`` can refer to it.
         for state_var in self.cls.state:
             if state_var.kind == "spec":
                 continue
             snapshot = self._old_var(state_var.var)
-            commands.append(
-                gc.Assume(b.Eq(snapshot, state_var.var), "OldSnapshot")
-            )
+            commands.append(gc.Assume(b.Eq(snapshot, state_var.var), "OldSnapshot"))
         return commands
 
     def _exit_asserts(self) -> list[tuple[str, Term]]:
@@ -226,9 +220,7 @@ class _Lowerer:
         return obligations
 
     def _exit_commands(self) -> list[ExtendedCommand]:
-        return [
-            gc.Assert(formula, label) for label, formula in self._exit_asserts()
-        ]
+        return [gc.Assert(formula, label) for label, formula in self._exit_asserts()]
 
     # -- statements -----------------------------------------------------------------
 
@@ -238,9 +230,7 @@ class _Lowerer:
     def _lower_stmt(self, stmt: Stmt) -> ExtendedCommand:
         if isinstance(stmt, (Assign, GhostAssign)):
             expr = self.eliminate_old(stmt.expr)
-            return eseq(
-                *self._runtime_checks(expr), gc.Assign(stmt.target, expr)
-            )
+            return eseq(*self._runtime_checks(expr), gc.Assign(stmt.target, expr))
         if isinstance(stmt, FieldWrite):
             if stmt.field_name not in self.field_maps:
                 raise LoweringError(f"{stmt.field_name} is not a reference field")
@@ -375,7 +365,9 @@ class _Lowerer:
         ]
         snapshot_commands: list[ExtendedCommand] = []
         for var in modified_vars:
-            snapshot = Var(self._fresh_name(f"{var.name}_before_{callee.name}"), var.sort)
+            snapshot = Var(
+                self._fresh_name(f"{var.name}_before_{callee.name}"), var.sort
+            )
             call_old[var] = snapshot
             snapshot_commands.append(gc.Assume(b.Eq(snapshot, var), "CallSnapshot"))
         commands.extend(snapshot_commands)

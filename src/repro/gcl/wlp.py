@@ -74,9 +74,7 @@ def _wlp_uncached(
             return post
         return b.ForAll(list(command.variables), post)
     if isinstance(command, SChoice):
-        return b.And(
-            _wlp(command.left, post, memo), _wlp(command.right, post, memo)
-        )
+        return b.And(_wlp(command.left, post, memo), _wlp(command.right, post, memo))
     if isinstance(command, SSeq):
         current = post
         for sub in reversed(command.commands):

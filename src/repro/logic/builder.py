@@ -127,9 +127,7 @@ def Ite(cond: Term, then: Term, other: Term) -> Term:
     """Conditional term ``if cond then ... else ...``."""
     _require_bool(cond, "ite")
     if then.sort != other.sort:
-        raise SortError(
-            f"ite branches must agree: {then.sort} vs {other.sort}"
-        )
+        raise SortError(f"ite branches must agree: {then.sort} vs {other.sort}")
     if cond == TRUE:
         return then
     if cond == FALSE:
@@ -267,7 +265,8 @@ def Store(map_term: Term, key: Term, value: Term) -> Term:
         )
     if value.sort != map_term.sort.ran:
         raise SortError(
-            f"store value sort {value.sort} does not match map range {map_term.sort.ran}"
+            f"store value sort {value.sort} does not match "
+            f"map range {map_term.sort.ran}"
         )
     return App("store", (map_term, key, value), map_term.sort)
 

@@ -111,9 +111,7 @@ def _cnf(formula: Term, budget: int) -> list[Clause]:
                 for right in branch:
                     new_product.append(left | right)
                     if len(new_product) > budget:
-                        raise ClauseBudgetExceeded(
-                            f"CNF exceeded {budget} clauses"
-                        )
+                        raise ClauseBudgetExceeded(f"CNF exceeded {budget} clauses")
             product = new_product
         return product
     return [frozenset({literal_of(formula)})]

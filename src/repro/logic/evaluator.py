@@ -117,9 +117,7 @@ class Interpretation:
             return [tuple(combo) for combo in itertools.product(*spaces)]
         if isinstance(sort, SetSort):
             if set_depth <= 0:
-                raise EvaluationError(
-                    f"refusing to enumerate nested set sort {sort}"
-                )
+                raise EvaluationError(f"refusing to enumerate nested set sort {sort}")
             base = self.domain(sort.elem, set_depth - 1)
             subsets: list[object] = []
             for size in range(len(base) + 1):

@@ -133,7 +133,9 @@ def skolemize(term: Term, fresh: FreshNameGenerator | None = None) -> Term:
     return _skolemize(term, (), fresh)
 
 
-def _skolemize(term: Term, universals: tuple[Var, ...], fresh: FreshNameGenerator) -> Term:
+def _skolemize(
+    term: Term, universals: tuple[Var, ...], fresh: FreshNameGenerator
+) -> Term:
     if isinstance(term, Binder) and term.kind == FORALL:
         params = term.param_vars
         body = _skolemize(term.body, universals + params, fresh)
@@ -143,9 +145,7 @@ def _skolemize(term: Term, universals: tuple[Var, ...], fresh: FreshNameGenerato
         for name, sort in term.params:
             skolem_name = fresh.fresh(f"sk_{name}")
             if universals:
-                skolem: Term = App(
-                    skolem_name, tuple(universals), sort
-                )
+                skolem: Term = App(skolem_name, tuple(universals), sort)
             else:
                 skolem = App(skolem_name, (), sort)
             mapping[Var(name, sort)] = skolem

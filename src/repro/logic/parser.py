@@ -921,7 +921,5 @@ def parse_sort(text: str) -> Sort:
     sort = parser.parse_sort()
     if not parser.at("eof"):
         extra = parser.peek()
-        raise ParseError(
-            f"unexpected trailing input {extra.text!r} in sort {text!r}"
-        )
+        raise ParseError(f"unexpected trailing input {extra.text!r} in sort {text!r}")
     return sort

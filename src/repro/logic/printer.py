@@ -163,9 +163,7 @@ def _render_nary(term: App, style: _Style, sep: str, prec: int, outer: int) -> s
     return _paren(sep.join(parts), prec, outer)
 
 
-def _render_binary(
-    term: App, style: _Style, sep: str, prec: int, outer: int
-) -> str:
+def _render_binary(term: App, style: _Style, sep: str, prec: int, outer: int) -> str:
     left = _render(term.args[0], style, prec + 1)
     right = _render(term.args[1], style, prec + 1)
     return _paren(f"{left}{sep}{right}", prec, outer)

@@ -111,9 +111,7 @@ def _rewrite(term: Term) -> Term:
             return cached
         body = _rewrite(term.body)
         rebuilt = term.rebuild((body,))
-        result = (
-            _rewrite_binder(rebuilt) if isinstance(rebuilt, Binder) else rebuilt
-        )
+        result = _rewrite_binder(rebuilt) if isinstance(rebuilt, Binder) else rebuilt
     elif isinstance(term, App):
         cached = _REWRITE_MEMO.get(term)
         if cached is not None:
@@ -271,7 +269,9 @@ def _rewrite_eq(left: Term, right: Term) -> Term:
         return b.And(*[_rewrite_eq(l, r) for l, r in zip(left.args, right.args)])
     # Set equality through extensionality whenever either side is a set
     # constructor the provers cannot handle natively.
-    if isinstance(left.sort, SetSort) and (_is_set_construct(left) or _is_set_construct(right)):
+    if isinstance(left.sort, SetSort) and (
+        _is_set_construct(left) or _is_set_construct(right)
+    ):
         return _set_extensionality(left, right)
     return b.Eq(left, right)
 
@@ -337,9 +337,7 @@ def _rewrite_member(elem: Term, the_set: Term, original: App | None) -> Term:
     if isinstance(the_set, Binder) and the_set.kind == COMPREHENSION:
         components = _split_tuple(elem, len(the_set.params))
         if components is None and len(the_set.params) > 1:
-            components = [
-                b.Proj(i, elem) for i in range(len(the_set.params))
-            ]
+            components = [b.Proj(i, elem) for i in range(len(the_set.params))]
         if components is None:
             components = [elem]
         return simplify_step(instantiate_binder(the_set, components))

@@ -117,9 +117,7 @@ def _subst(
         return result
     if isinstance(term, Binder):
         bound_names = set(term.param_names)
-        inner_mapping = {
-            v: t for v, t in mapping.items() if v.name not in bound_names
-        }
+        inner_mapping = {v: t for v, t in mapping.items() if v.name not in bound_names}
         if not inner_mapping:
             return term
         # Rename bound variables that would capture free variables of the
@@ -150,14 +148,10 @@ def _subst(
             # No binder parameter shadows the mapping and no renaming
             # happened: the recursion uses the same mapping, so the memo
             # stays valid.
-            new_body = _subst(
-                body, mapping, relevant_names, replacement_free, memo
-            )
+            new_body = _subst(body, mapping, relevant_names, replacement_free, memo)
         else:
             inner_relevant = frozenset(v.name for v in inner_mapping)
-            new_body = _subst(
-                body, inner_mapping, inner_relevant, replacement_free, {}
-            )
+            new_body = _subst(body, inner_mapping, inner_relevant, replacement_free, {})
         if new_body is term.body and params == term.params:
             result = term
         else:
@@ -191,9 +185,7 @@ def instantiate_binder(binder: Binder, args: tuple[Term, ...] | list[Term]) -> T
         raise ValueError(
             f"binder expects {len(binder.params)} arguments, got {len(args)}"
         )
-    mapping = {
-        Var(name, sort): arg for (name, sort), arg in zip(binder.params, args)
-    }
+    mapping = {Var(name, sort): arg for (name, sort), arg in zip(binder.params, args)}
     return substitute(binder.body, mapping)
 
 
@@ -220,9 +212,7 @@ def _alpha(
         assert isinstance(right, App)
         if left.op != right.op or len(left.args) != len(right.args):
             return False
-        return all(
-            _alpha(la, ra, lmap, rmap) for la, ra in zip(left.args, right.args)
-        )
+        return all(_alpha(la, ra, lmap, rmap) for la, ra in zip(left.args, right.args))
     if isinstance(left, Binder):
         assert isinstance(right, Binder)
         if left.kind != right.kind or len(left.params) != len(right.params):

@@ -59,7 +59,8 @@ def _local_base(
 def _strip_binder(formula: Term, kind: str, context: str) -> Binder:
     if not isinstance(formula, Binder) or formula.kind != kind:
         raise ProofTranslationError(
-            f"{context} expects a {'universally' if kind == FORALL else 'existentially'}"
+            f"{context} expects a "
+            f"{'universally' if kind == FORALL else 'existentially'}"
             f" quantified formula, got {formula}"
         )
     return formula
@@ -224,9 +225,7 @@ def translate_proof(construct: ProofConstruct, desugarer) -> SimpleCommand:
             SAssume(b.Le(b.Int(0), n), f"{construct.label}_range"),
             desugarer.desugar(construct.proof),
         )
-        exported = b.ForAll(
-            [n], b.Implies(b.Le(b.Int(0), n), construct.formula)
-        )
+        exported = b.ForAll([n], b.Implies(b.Le(b.Int(0), n), construct.formula))
         dead_branch = sseq(
             inner,
             SAssert(zero_case, f"{construct.label}_base"),
@@ -252,7 +251,8 @@ def _translate_fix(construct: Fix, desugarer) -> SimpleCommand:
     overlap = set(construct.variables) & set(modified)
     if overlap:
         raise ProofTranslationError(
-            f"fix body must not modify the fixed variables {sorted(v.name for v in overlap)}"
+            f"fix body must not modify the fixed variables "
+            f"{sorted(v.name for v in overlap)}"
         )
     # Save the modified variables so the constraint F' refers to their values
     # at the start of the fix block.

@@ -137,9 +137,7 @@ def _canonical_clause(clause: Clause) -> Clause:
 
 def _freeze_free_variables(formula: Term) -> Term:
     """Replace the free variables of a task formula by rigid constants."""
-    mapping = {
-        var: Const(var.name, var.sort) for var in free_vars(formula)
-    }
+    mapping = {var: Const(var.name, var.sort) for var in free_vars(formula)}
     if not mapping:
         return formula
     return substitute(formula, mapping)

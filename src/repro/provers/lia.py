@@ -170,7 +170,9 @@ class LinearSolver:
 
     def add_lt_terms(self, left: Term, right: Term) -> None:
         """Add ``left < right`` (integer-tightened to ``left + 1 <= right``)."""
-        self.add_le(linearize(left).sub(linearize(right)).add(LinearExpr.of_constant(1)))
+        self.add_le(
+            linearize(left).sub(linearize(right)).add(LinearExpr.of_constant(1))
+        )
 
     def add_eq_terms(self, left: Term, right: Term) -> None:
         """Add ``left = right``."""

@@ -46,9 +46,7 @@ class FiniteModelFinder(Prover):
         self.max_assignments = max_assignments
 
     def attempt(self, task: ProofTask, budget: Budget) -> ProverResult:
-        formula = simplify(
-            b.Implies(b.And(*task.assumption_formulas), task.goal)
-        )
+        formula = simplify(b.Implies(b.And(*task.assumption_formulas), task.goal))
         if term_size(formula) > self.max_formula_size:
             return ProverResult(Outcome.UNKNOWN, reason="formula too large")
         symbols = function_symbols(formula) - {"null"}
@@ -87,9 +85,7 @@ class FiniteModelFinder(Prover):
             if checked % 256 == 0:
                 budget.check()
             checked += 1
-            interp = base.with_variables(
-                dict(zip((v.name for v in variables), combo))
-            )
+            interp = base.with_variables(dict(zip((v.name for v in variables), combo)))
             try:
                 value = interp_holds(formula, interp)
             except EvaluationError:

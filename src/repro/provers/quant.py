@@ -204,9 +204,7 @@ class InstantiationEngine:
                     break
         return produced
 
-    def saturate(
-        self, ground_formulas: list[Term], priority: list[Term]
-    ) -> list[Term]:
+    def saturate(self, ground_formulas: list[Term], priority: list[Term]) -> list[Term]:
         """Run up to ``max_rounds`` rounds, feeding new instances back in."""
         all_ground = list(ground_formulas)
         new_instances: list[Term] = []

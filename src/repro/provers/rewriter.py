@@ -169,8 +169,14 @@ def _inline_definitions(prepared: PreparedTask) -> None:
                 isinstance(conjunct, App)
                 and conjunct.op == "eq"
                 and (
-                    (isinstance(conjunct.args[0], Var) and definitions.get(conjunct.args[0]) == conjunct.args[1])
-                    or (isinstance(conjunct.args[1], Var) and definitions.get(conjunct.args[1]) == conjunct.args[0])
+                    (
+                        isinstance(conjunct.args[0], Var)
+                        and definitions.get(conjunct.args[0]) == conjunct.args[1]
+                    )
+                    or (
+                        isinstance(conjunct.args[1], Var)
+                        and definitions.get(conjunct.args[1]) == conjunct.args[0]
+                    )
                 )
             ):
                 # Keep the definition itself un-inlined (it would rewrite to

@@ -249,10 +249,22 @@ def _flatten_literal(formula: Term) -> list[tuple[Term, bool]]:
         return out
     if isinstance(formula, App) and formula.op == "not":
         inner = formula.args[0]
-        if isinstance(inner, App) and inner.op in ("member", "subseteq", "eq", "le", "lt"):
+        if isinstance(inner, App) and inner.op in (
+            "member",
+            "subseteq",
+            "eq",
+            "le",
+            "lt",
+        ):
             return [(inner, False)]
         raise _OutsideFragment(f"negated {type(inner).__name__}")
-    if isinstance(formula, App) and formula.op in ("member", "subseteq", "eq", "le", "lt"):
+    if isinstance(formula, App) and formula.op in (
+        "member",
+        "subseteq",
+        "eq",
+        "le",
+        "lt",
+    ):
         return [(formula, True)]
     raise _OutsideFragment(f"unsupported connective {formula}")
 
@@ -333,9 +345,7 @@ def _check_elem_sort(sort: Sort, universe: _Universe) -> None:
     if universe.elem_sort is None:
         universe.elem_sort = sort
     elif universe.elem_sort != sort:
-        raise _OutsideFragment(
-            f"mixed element sorts {universe.elem_sort} and {sort}"
-        )
+        raise _OutsideFragment(f"mixed element sorts {universe.elem_sort} and {sort}")
 
 
 # ---------------------------------------------------------------------------
@@ -513,10 +523,14 @@ def _constraints_for(
         right = _arith_expr(atom.args[1], regions, region_vars, universe)
         if positive:
             gap = Fraction(1) if atom.op == "lt" else Fraction(0)
-            constraints.append((left.sub(right).add(LinearExpr.of_constant(gap)), False))
+            constraints.append(
+                (left.sub(right).add(LinearExpr.of_constant(gap)), False)
+            )
         else:
             # ~(l <= r) == r + 1 <= l ; ~(l < r) == r <= l
             gap = Fraction(0) if atom.op == "lt" else Fraction(1)
-            constraints.append((right.sub(left).add(LinearExpr.of_constant(gap)), False))
+            constraints.append(
+                (right.sub(left).add(LinearExpr.of_constant(gap)), False)
+            )
         return constraints
     raise _OutsideFragment(f"unsupported atom {atom}")

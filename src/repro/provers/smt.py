@@ -87,9 +87,7 @@ class SmtProver(Prover):
             budget.check()
             iterations += 1
             if iterations > self.max_theory_iterations:
-                return ProverResult(
-                    Outcome.UNKNOWN, reason="theory iteration limit"
-                )
+                return ProverResult(Outcome.UNKNOWN, reason="theory iteration limit")
             try:
                 sat_result = encoder.tseitin.solve(
                     should_stop=budget.expired,

@@ -60,9 +60,7 @@ class TheoryChecker:
 
     # -- consistency ------------------------------------------------------------
 
-    def _consistent(
-        self, literals: list[Literal], budget: Budget | None
-    ) -> bool:
+    def _consistent(self, literals: list[Literal], budget: Budget | None) -> bool:
         if budget is not None:
             budget.check()
         closure = CongruenceClosure()
@@ -174,9 +172,7 @@ class TheoryChecker:
 
     # -- core minimisation --------------------------------------------------------
 
-    def _minimize(
-        self, core: list[Literal], budget: Budget | None
-    ) -> list[Literal]:
+    def _minimize(self, core: list[Literal], budget: Budget | None) -> list[Literal]:
         """Deletion-based minimisation of a conflicting literal set."""
         if len(core) > 120:
             return core

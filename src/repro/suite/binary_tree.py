@@ -38,9 +38,7 @@ def build_binary_tree():
         "RightClosed",
         "ALL n : obj. n in nodes --> (right[n] in nodes | right[n] = null)",
     )
-    s.invariant(
-        "KeysSound", "ALL n : obj. n in nodes --> key[n] in keySet"
-    )
+    s.invariant("KeysSound", "ALL n : obj. n in nodes --> key[n] in keySet")
 
     m = s.method(
         "makeEmpty",
@@ -66,9 +64,7 @@ def build_binary_tree():
         requires="root ~= null",
         ensures="result in content",
     )
-    m.instantiate(
-        "RootHasKey", "ALL n : obj. n in nodes --> key[n] in keySet", "root"
-    )
+    m.instantiate("RootHasKey", "ALL n : obj. n in nodes --> key[n] in keySet", "root")
     m.returns("key[root]")
     m.done()
 
@@ -84,7 +80,9 @@ def build_binary_tree():
     m.assign("root", "n")
     m.ghost_assign("nodes", "nodes Un {n}")
     m.ghost_assign("keySet", "keySet Un {key[n]}")
-    m.note("OldTreeEmpty", "card (old nodes) = 0", from_hints="EmptyRoot, Pre, OldSnapshot")
+    m.note(
+        "OldTreeEmpty", "card (old nodes) = 0", from_hints="EmptyRoot, Pre, OldSnapshot"
+    )
     m.note(
         "ShapeStillClosed",
         "ALL m : obj. m in nodes --> (left[m] in nodes | left[m] = null)",

@@ -202,7 +202,7 @@ class MethodBuilder:
             return Var(name, self.structure._env[name])
         raise KeyError(f"unknown variable {name!r} in method {self.name}")
 
-    # -- statements ----------------------------------------------------------------------
+    # -- statements ------------------------------------------------------------------
 
     def _emit(self, statement: Stmt) -> None:
         self._block_stack[-1].append(statement)
@@ -281,7 +281,7 @@ class MethodBuilder:
             },
         )
 
-    # -- proof language statements -------------------------------------------------------
+    # -- proof language statements ---------------------------------------------------
 
     def note(self, label: str, formula: str, from_hints: str = "") -> None:
         hints = tuple(h.strip() for h in from_hints.split(",") if h.strip())
@@ -291,9 +291,7 @@ class MethodBuilder:
         witness_terms = tuple(
             self.term(item.strip()) for item in terms.split(",") if item.strip()
         )
-        self._emit(
-            ProofStmt(Witness(witness_terms, label, self.formula(existential)))
-        )
+        self._emit(ProofStmt(Witness(witness_terms, label, self.formula(existential))))
 
     def instantiate(self, label: str, quantified: str, terms: str) -> None:
         instantiation = tuple(
@@ -308,7 +306,9 @@ class MethodBuilder:
             ProofStmt(Mp(label, self.formula(antecedent), self.formula(consequent)))
         )
 
-    def cases(self, label: str, cases: list[str], goal: str, from_hints: str = "") -> None:
+    def cases(
+        self, label: str, cases: list[str], goal: str, from_hints: str = ""
+    ) -> None:
         hints = tuple(h.strip() for h in from_hints.split(",") if h.strip())
         self._emit(
             ProofStmt(
@@ -369,7 +369,7 @@ class MethodBuilder:
     def localize(self, label: str, formula: str, proof: ExtendedCommand) -> None:
         self._emit(ProofStmt(Localize(proof, label, self.formula(formula))))
 
-    # -- nested proof command helpers (for proofs inside pickAny/assuming) --------------
+    # -- nested proof command helpers (for proofs inside pickAny/assuming) ---------
 
     def inner_note(self, label: str, formula: str, from_hints: str = "",
                    extra: dict[str, Sort] | None = None) -> ExtendedCommand:
@@ -383,7 +383,7 @@ class MethodBuilder:
     def sequence(self, *commands: ExtendedCommand) -> ExtendedCommand:
         return eseq(*commands)
 
-    # -- finish ---------------------------------------------------------------------------
+    # -- finish ----------------------------------------------------------------------
 
     def done(self) -> Method:
         """Finish the method and register it with the structure."""
@@ -423,9 +423,7 @@ class _Block:
         if exc_type is not None:
             return False
         if self.kind is If:
-            statement = If(
-                cond=self.kwargs["cond"], then_branch=tuple(self.statements)
-            )
+            statement = If(cond=self.kwargs["cond"], then_branch=tuple(self.statements))
         else:
             statement = While(
                 cond=self.kwargs["cond"],

@@ -32,9 +32,7 @@ def build_hash_table():
     s.spec("csize", "int", "card contents")
 
     s.invariant("CapacityPositive", "0 < capacity")
-    s.invariant(
-        "HashRange", "ALL k : obj. 0 <= hash[k] & hash[k] < capacity"
-    )
+    s.invariant("HashRange", "ALL k : obj. 0 <= hash[k] & hash[k] < capacity")
     s.invariant(
         "BucketComplete",
         "ALL k : obj, v : obj. (k, v) in contents --> (k, v) in buckets[hash[k]]",
@@ -56,13 +54,12 @@ def build_hash_table():
         returns="bool",
         ensures="result <-> (k, v) in content",
     )
-    m.instantiate(
-        "HashOfKey", "ALL k2 : obj. 0 <= hash[k2] & hash[k2] < capacity", "k"
-    )
+    m.instantiate("HashOfKey", "ALL k2 : obj. 0 <= hash[k2] & hash[k2] < capacity", "k")
     m.note(
         "InBucketIffInContents",
         "(k, v) in buckets[hash[k]] <-> (k, v) in contents",
-        from_hints="BucketComplete, BucketSound, HashOfKey, HashRange, CapacityPositive",
+        from_hints="BucketComplete, BucketSound, HashOfKey, HashRange, "
+        "CapacityPositive",
     )
     m.returns("(k, v) in buckets[hash[k]]")
     m.done()
@@ -73,9 +70,7 @@ def build_hash_table():
         modifies="buckets, contents, keys",
         ensures="content = old content Un {(k, v)} & keys = old keys Un {k}",
     )
-    m.instantiate(
-        "HashOfKey", "ALL k2 : obj. 0 <= hash[k2] & hash[k2] < capacity", "k"
-    )
+    m.instantiate("HashOfKey", "ALL k2 : obj. 0 <= hash[k2] & hash[k2] < capacity", "k")
     m.array_write("buckets", "hash[k]", "buckets[hash[k]] Un {(k, v)}")
     m.ghost_assign("contents", "contents Un {(k, v)}")
     m.ghost_assign("keys", "keys Un {k}")
@@ -118,9 +113,7 @@ def build_hash_table():
         modifies="buckets, contents",
         ensures="content = old content \\ {(k, v)}",
     )
-    m.instantiate(
-        "HashOfKey", "ALL k2 : obj. 0 <= hash[k2] & hash[k2] < capacity", "k"
-    )
+    m.instantiate("HashOfKey", "ALL k2 : obj. 0 <= hash[k2] & hash[k2] < capacity", "k")
     m.array_write("buckets", "hash[k]", "buckets[hash[k]] \\ {(k, v)}")
     m.ghost_assign("contents", "contents \\ {(k, v)}")
     m.note(

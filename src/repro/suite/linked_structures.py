@@ -288,12 +288,8 @@ def build_circular_list():
     s.invariant("NullNotNode", "~(null in nodes)")
     s.invariant("HeadNotNull", "head ~= null")
     s.invariant("HeadInNodes", "head in nodes")
-    s.invariant(
-        "NextClosed", "ALL n : obj. n in nodes --> next[n] in nodes"
-    )
-    s.invariant(
-        "PrevClosed", "ALL n : obj. n in nodes --> prev[n] in nodes"
-    )
+    s.invariant("NextClosed", "ALL n : obj. n in nodes --> next[n] in nodes")
+    s.invariant("PrevClosed", "ALL n : obj. n in nodes --> prev[n] in nodes")
     s.invariant("SizeCard", "csize = card nodes - 1")
 
     m = s.method(

@@ -96,7 +96,8 @@ def build_priority_queue():
         "insertLast",
         params="k : int",
         requires="size < capacity & "
-        "(size = 0 | (0 <= parent[size] & parent[size] < size & k <= heap[parent[size]]))",
+        "(size = 0 | "
+        "(0 <= parent[size] & parent[size] < size & k <= heap[parent[size]]))",
         modifies="heap, size",
         ensures="csize = old csize + 1 & heap[old size] = k",
     )

@@ -107,11 +107,9 @@ class VcGenerator:
             for piece in pieces
         ]
 
-    # -- the backward pass --------------------------------------------------------------
+    # -- the backward pass -----------------------------------------------------------
 
-    def _process(
-        self, command: SimpleCommand, pending: list[Sequent]
-    ) -> list[Sequent]:
+    def _process(self, command: SimpleCommand, pending: list[Sequent]) -> list[Sequent]:
         if isinstance(command, SSkip):
             return pending
         if isinstance(command, SAssume):

@@ -57,6 +57,4 @@ def strip_proofs_from_method(method: Method) -> Method:
 
 def strip_proofs_from_class(cls: ClassModel) -> ClassModel:
     """A copy of ``cls`` with all proof constructs removed from every method."""
-    return replace(
-        cls, methods=tuple(strip_proofs_from_method(m) for m in cls.methods)
-    )
+    return replace(cls, methods=tuple(strip_proofs_from_method(m) for m in cls.methods))

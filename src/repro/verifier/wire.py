@@ -291,9 +291,7 @@ def handshake_connect(channel: LineChannel, secret: bytes, role: str) -> None:
     if not isinstance(nonce, str):
         raise HandshakeError("malformed handshake challenge")
     own_nonce = os.urandom(_NONCE_BYTES).hex()
-    channel.send(
-        {"role": role, "nonce": own_nonce, "mac": _mac(secret, nonce, role)}
-    )
+    channel.send({"role": role, "nonce": own_nonce, "mac": _mac(secret, nonce, role)})
     verdict = channel.recv()
     if verdict is None:
         raise HandshakeError("peer hung up during handshake")
@@ -315,9 +313,7 @@ def handshake_connect(channel: LineChannel, secret: bytes, role: str) -> None:
 
 def encode_payload(obj) -> str:
     """Pickle ``obj`` into a JSON-safe base64 string."""
-    return base64.b64encode(pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)).decode(
-        "ascii"
-    )
+    return base64.b64encode(pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)).decode("ascii")
 
 
 def decode_payload(text: str):

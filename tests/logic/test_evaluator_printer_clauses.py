@@ -26,7 +26,13 @@ from repro.logic import (
     set_of,
 )
 from repro.logic.clauses import Literal, cnf_clauses, formula_of_clause, literal_of
-from repro.logic.evaluator import EvaluationError, FiniteMap, Interpretation, evaluate, holds
+from repro.logic.evaluator import (
+    EvaluationError,
+    FiniteMap,
+    Interpretation,
+    evaluate,
+    holds,
+)
 from repro.logic.parser import parse_formula
 from repro.logic.printer import to_ascii, to_unicode
 from repro.logic import builder as b
@@ -97,7 +103,13 @@ class TestPrinter:
         ],
     )
     def test_ascii_roundtrip(self, text):
-        env = {"x": INT, "y": INT, "S": set_of(INT), "T": set_of(INT), "g": map_of(INT, INT)}
+        env = {
+            "x": INT,
+            "y": INT,
+            "S": set_of(INT),
+            "T": set_of(INT),
+            "g": map_of(INT, INT),
+        }
         formula = parse_formula(text, env)
         assert parse_formula(to_ascii(formula), env) == formula
 

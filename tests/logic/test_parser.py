@@ -2,7 +2,17 @@
 
 import pytest
 
-from repro.logic import BOOL, INT, OBJ, MapSort, SetSort, TupleSort, map_of, set_of, tuple_of
+from repro.logic import (
+    BOOL,
+    INT,
+    OBJ,
+    MapSort,
+    SetSort,
+    TupleSort,
+    map_of,
+    set_of,
+    tuple_of,
+)
 from repro.logic.parser import ParseError, parse_formula, parse_sort, parse_term
 from repro.logic.printer import to_ascii, to_unicode
 from repro.logic.terms import Binder, FORALL

@@ -29,9 +29,7 @@ ENV = {
 
 class TestSimplify:
     def test_membership_in_comprehension(self):
-        formula = parse_formula(
-            "(3, null) in {(i, n). 0 <= i & i < 5 & n = null}", ENV
-        )
+        formula = parse_formula("(3, null) in {(i, n). 0 <= i & i < 5 & n = null}", ENV)
         assert simplify(formula) == BoolLit(True)
 
     def test_membership_in_union(self):
@@ -117,9 +115,7 @@ class TestSkolemization:
         assert not contains_quantifier(skolemized)
 
     def test_skolem_function_under_universal(self):
-        formula = to_nnf(
-            parse_formula("ALL k : int. EX m : int. k < m", ENV)
-        )
+        formula = to_nnf(parse_formula("ALL k : int. EX m : int. k < m", ENV))
         skolemized = prenex(skolemize(formula))
         # One universal remains; the existential became a Skolem application.
         assert contains_quantifier(skolemized)

@@ -74,9 +74,7 @@ class TestTranslation:
         assert isinstance(command.commands[-1], SAssume)
 
     def test_cases_emits_coverage_and_per_case_obligations(self):
-        command = desugar(
-            Cases((F("x <= y"), F("y <= x")), "L", F("x <= y | y <= x"))
-        )
+        command = desugar(Cases((F("x <= y"), F("y <= x")), "L", F("x <= y | y <= x")))
         asserts = [c for c in command.commands if isinstance(c, SAssert)]
         assert len(asserts) == 3  # coverage + 2 cases
 
@@ -121,15 +119,21 @@ class TestSoundness:
 
     @pytest.mark.parametrize(
         "construct",
-        [c for c in all_constructs() if construct_name(c) in ("note", "mp", "witness",
-                                                              "cases", "contradiction")],
+        [
+            c
+            for c in all_constructs()
+            if construct_name(c)
+            in ("note", "mp", "witness", "cases", "contradiction")
+        ],
         ids=lambda c: construct_name(c),
     )
     def test_soundness_obligation_valid_in_finite_models(self, construct):
         post = F("x <= y | y <= x")
         obligation = soundness_obligation(construct, post)
         free = sorted(free_vars(obligation), key=lambda v: v.name)
-        for interp in all_interpretations(free, int_values=(-1, 0, 1), int_range=(-1, 1)):
+        for interp in all_interpretations(
+            free, int_values=(-1, 0, 1), int_range=(-1, 1)
+        ):
             assert holds(obligation, interp)
 
     def test_wlp_of_note_adds_lemma(self):

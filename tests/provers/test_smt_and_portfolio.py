@@ -36,7 +36,9 @@ FUNCS = {"p": fun_of([OBJ], BOOL), "q": fun_of([OBJ], BOOL), "r": fun_of([OBJ], 
 
 def task(assumptions, goal):
     return ProofTask(
-        tuple((f"h{i}", parse_formula(a, ENV, FUNCS)) for i, a in enumerate(assumptions)),
+        tuple(
+            (f"h{i}", parse_formula(a, ENV, FUNCS)) for i, a in enumerate(assumptions)
+        ),
         parse_formula(goal, ENV, FUNCS),
     )
 
@@ -51,7 +53,11 @@ SMT_PROVABLE = [
     (["j ~= i"], "elements[i := o][j] = elements[j]"),
     (["elements2 = elements[i := o]", "j ~= i"], "elements2[j] = elements[j]"),
     (
-        ["ALL k : int. 0 <= k & k < size --> elements[k] ~= null", "0 <= i", "i < size"],
+        [
+            "ALL k : int. 0 <= k & k < size --> elements[k] ~= null",
+            "0 <= i",
+            "i < size",
+        ],
         "elements[i] ~= null",
     ),
     (
@@ -142,9 +148,7 @@ class TestSetCardinalityProver:
         assert not result.is_proved
 
     def test_declines_out_of_fragment_goals(self):
-        result = SetCardinalityProver().prove(
-            task([], "f[a] = f[b]"), timeout=5.0
-        )
+        result = SetCardinalityProver().prove(task([], "f[a] = f[b]"), timeout=5.0)
         assert result.outcome is Outcome.UNKNOWN
 
 

@@ -107,6 +107,10 @@ def test_lint_job_runs_ruff_with_committed_config():
     assert "ruff check" in runs
     assert "ruff format --check" in runs
     assert (REPO_ROOT / "ruff.toml").exists(), "ruff config must be committed"
+    # Since the one-shot format commit the format check is blocking: no
+    # step of the lint job may swallow its failure.
+    for step in jobs["lint"]["steps"]:
+        assert not step.get("continue-on-error"), step
 
 
 def test_slow_job_is_gated():

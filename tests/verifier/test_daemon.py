@@ -133,9 +133,7 @@ def test_warm_restart_serves_from_disk(tmp_path):
 
 def test_suite_op_runs_scheduler(daemon):
     _, client, _ = daemon
-    response = client.request(
-        {"op": "suite", "names": ["Array List", "Cursor List"]}
-    )
+    response = client.request({"op": "suite", "names": ["Array List", "Cursor List"]})
     assert response["ok"]
     assert [payload["class"] for payload in response["reports"]] == [
         "Array List",

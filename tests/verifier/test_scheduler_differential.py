@@ -110,9 +110,7 @@ def test_suite_report_order_is_input_order():
     classes = structures(FAST_CLASSES)
     engine = make_engine(jobs=2, use_cache=True)
     reports = engine.verify_suite(classes)
-    assert [report.class_name for report in reports] == [
-        cls.name for cls in classes
-    ]
+    assert [report.class_name for report in reports] == [cls.name for cls in classes]
     # The schedule order differs from the input order (cost-sorted), yet
     # the reports come back in input order.
     assert engine.last_suite_stats.schedule_order != [cls.name for cls in classes]

@@ -56,9 +56,7 @@ def build_method() -> Method:
 class TestHandBuiltMethod:
     def test_proof_statements_removed_everywhere(self):
         stripped = strip_proofs_from_method(build_method())
-        assert all(
-            not isinstance(stmt, ProofStmt) for stmt in _walk(stripped.body)
-        )
+        assert all(not isinstance(stmt, ProofStmt) for stmt in _walk(stripped.body))
         # Nested structure survives: the If and its While are still there.
         kinds = [type(stmt).__name__ for stmt in _walk(stripped.body)]
         assert "If" in kinds and "While" in kinds
