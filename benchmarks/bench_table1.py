@@ -26,8 +26,17 @@ from repro.provers.dispatch import default_portfolio
 from repro.suite import all_structures
 from repro.provers.result import PortfolioStatistics
 from repro.verifier.engine import VerificationEngine
-from repro.verifier.report import Table1Row, format_performance, format_table1, table1_rows
-from repro.verifier.stats import PerformanceCounters, class_statistics, performance_counters
+from repro.verifier.report import (
+    Table1Row,
+    format_performance,
+    format_table1,
+    table1_rows,
+)
+from repro.verifier.stats import (
+    PerformanceCounters,
+    class_statistics,
+    performance_counters,
+)
 
 _ROWS: list[Table1Row] = []
 _PORTFOLIO_TOTALS = PortfolioStatistics()
@@ -191,6 +200,17 @@ def run_smoke(jobs: int = 2, structure_names=SMOKE_STRUCTURES) -> dict:
         "timeout_scale": TIMEOUT_SCALE,
         "wall_seconds": round(wall, 3),
         "schedule_order": list(stats.schedule_order),
+        # The adaptive plan (PR 5): per-class cost and which rung of the
+        # cost model's fallback chain produced it.  A cold CI run records
+        # "static" everywhere; warm-cache experiments show "measured".
+        "schedule_plan": [
+            {
+                "name": cls.class_name,
+                "cost_hint": round(cls.cost_hint, 6),
+                "hint_source": cls.hint_source,
+            }
+            for cls in stats.classes
+        ],
         "dispatch": {
             "backend": stats.backend,
             "sequents_total": stats.sequents_total,

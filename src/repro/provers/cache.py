@@ -58,8 +58,10 @@ __all__ = [
 FINGERPRINT_VERSION = 1
 
 #: Bump whenever the on-disk JSON layout of :class:`PersistentCacheStore`
-#: changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+#: changes incompatibly.  Version 2 added measured per-sequent prover
+#: timings (``wall`` / ``cpu``) to every entry and the per-class
+#: ``profiles`` section; version-1 stores cold-start cleanly.
+CACHE_FORMAT_VERSION = 2
 
 
 # Bound variables are numbered by *relative* de Bruijn index (distance from
@@ -140,9 +142,7 @@ def task_fingerprint(task: ProofTask) -> tuple:
     alpha-normalized formulas matter; they are deduplicated and sorted so
     that assumption order does not split cache entries.
     """
-    hypotheses = {
-        _fingerprint(formula, {}, 0) for _, formula in task.assumptions
-    }
+    hypotheses = {_fingerprint(formula, {}, 0) for _, formula in task.assumptions}
     return (tuple(sorted(hypotheses, key=repr)), _fingerprint(task.goal, {}, 0))
 
 
@@ -154,12 +154,22 @@ class CachedVerdict:
     verdicts produced (and cached) during the current process, ``"disk"``
     for verdicts loaded from a :class:`PersistentCacheStore`.  Reports use
     it to split cache-hit provenance.
+
+    ``wall`` / ``cpu`` are the measured prover cost of the sequent the
+    one time it was actually dispatched: wall-clock seconds of the
+    portfolio's prover phase and the per-process CPU seconds the provers
+    reported.  They are 0.0 for verdicts whose cost was never measured
+    (pre-v2 stores) and feed the scheduler's cost model
+    (:mod:`repro.verifier.costmodel`) -- they never influence the verdict
+    itself.
     """
 
     proved: bool
     refuted: bool
     winning_prover: str
     origin: str = "memory"
+    wall: float = 0.0
+    cpu: float = 0.0
 
 
 class ProofCache:
@@ -294,40 +304,51 @@ class PersistentCacheStore:
         #: Human-readable outcome of the last :meth:`load` call (the
         #: internal re-reads of merge-saves do not touch it).
         self.last_load_status = "not-loaded"
+        #: The per-class measured cost profiles of the last :meth:`load`
+        #: (JSON-ready ``{class: {"wall", "cpu", "sequents"}}``; empty on
+        #: a cold start).  Consumed by the engine's cost model.
+        self.last_profiles: dict[str, dict] = {}
 
     # -- reading -----------------------------------------------------------------
 
     def load(self) -> dict[tuple, CachedVerdict]:
-        """Load the persisted verdicts, or ``{}`` on any mismatch/corruption."""
-        entries, status = self._read()
+        """Load the persisted verdicts, or ``{}`` on any mismatch/corruption.
+
+        The per-class cost profiles that rode along are exposed as
+        :attr:`last_profiles` afterwards.
+        """
+        entries, profiles, status = self._read()
         self.last_load_status = status
+        self.last_profiles = profiles
         return entries
 
-    def _read(self) -> tuple[dict[tuple, CachedVerdict], str]:
+    def _read(self) -> tuple[dict[tuple, CachedVerdict], dict[str, dict], str]:
         try:
             raw = self.path.read_text(encoding="utf-8")
         except (FileNotFoundError, NotADirectoryError):
-            return {}, "cold:missing"
+            return {}, {}, "cold:missing"
         except OSError:
-            return {}, "cold:unreadable"
+            return {}, {}, "cold:unreadable"
         return self._parse(raw)
 
-    def _parse(self, raw: str) -> tuple[dict[tuple, CachedVerdict], str]:
+    def _parse(
+        self, raw: str
+    ) -> tuple[dict[tuple, CachedVerdict], dict[str, dict], str]:
         try:
             payload = json.loads(raw)
         except (json.JSONDecodeError, ValueError):
-            return {}, "cold:corrupt"
+            return {}, {}, "cold:corrupt"
         if not isinstance(payload, dict):
-            return {}, "cold:corrupt"
+            return {}, {}, "cold:corrupt"
         if payload.get("format") != CACHE_FORMAT_VERSION:
-            return {}, "cold:format-mismatch"
+            return {}, {}, "cold:format-mismatch"
         if payload.get("fingerprint_version") != FINGERPRINT_VERSION:
-            return {}, "cold:fingerprint-mismatch"
+            return {}, {}, "cold:fingerprint-mismatch"
         if payload.get("portfolio") != self.portfolio_key:
-            return {}, "cold:portfolio-mismatch"
+            return {}, {}, "cold:portfolio-mismatch"
         raw_entries = payload.get("entries")
         if not isinstance(raw_entries, list):
-            return {}, "cold:corrupt"
+            return {}, {}, "cold:corrupt"
         entries: dict[tuple, CachedVerdict] = {}
         for pair in raw_entries:
             try:
@@ -340,24 +361,53 @@ class PersistentCacheStore:
                     refuted=bool(verdict["refuted"]),
                     winning_prover=str(verdict["prover"]),
                     origin="disk",
+                    wall=float(verdict.get("wall", 0.0)),
+                    cpu=float(verdict.get("cpu", 0.0)),
                 )
             except (ValueError, KeyError, TypeError):
                 # Skip individually damaged entries; keep the rest.
                 continue
-        return entries, f"warm:{len(entries)}"
+        profiles = self._parse_profiles(payload.get("profiles"))
+        return entries, profiles, f"warm:{len(entries)}"
+
+    @staticmethod
+    def _parse_profiles(raw_profiles) -> dict[str, dict]:
+        """Validate the per-class profile section (damaged classes are
+        skipped, exactly like damaged entries)."""
+        if not isinstance(raw_profiles, dict):
+            return {}
+        profiles: dict[str, dict] = {}
+        for name, data in raw_profiles.items():
+            try:
+                profiles[str(name)] = {
+                    "wall": float(data["wall"]),
+                    "cpu": float(data["cpu"]),
+                    "sequents": int(data["sequents"]),
+                }
+            except (ValueError, KeyError, TypeError):
+                continue
+        return profiles
 
     # -- writing -----------------------------------------------------------------
 
-    def save(self, entries: dict[tuple, CachedVerdict], merge: bool = True) -> int:
+    def save(
+        self,
+        entries: dict[tuple, CachedVerdict],
+        merge: bool = True,
+        profiles: dict[str, dict] | None = None,
+    ) -> int:
         """Atomically write ``entries``; returns the number persisted.
 
         With ``merge`` (the default) the current on-disk entries are
         re-read and unioned in first, so concurrent writers and repeated
         partial runs accumulate instead of clobbering each other.
+        ``profiles`` optionally carries the per-class measured cost
+        profiles to persist alongside (merged per class name, new data
+        winning).
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         with self._write_lock():
-            return self._save_locked(entries, merge)
+            return self._save_locked(entries, merge, profiles)
 
     @contextlib.contextmanager
     def _write_lock(self):
@@ -372,12 +422,21 @@ class PersistentCacheStore:
             finally:
                 fcntl.flock(lock_file.fileno(), fcntl.LOCK_UN)
 
-    def _save_locked(self, entries: dict[tuple, CachedVerdict], merge: bool) -> int:
+    def _save_locked(
+        self,
+        entries: dict[tuple, CachedVerdict],
+        merge: bool,
+        profiles: dict[str, dict] | None = None,
+    ) -> int:
         combined: dict[tuple, CachedVerdict] = {}
+        combined_profiles: dict[str, dict] = {}
         if merge:
-            disk_entries, _ = self._read()
+            disk_entries, disk_profiles, _ = self._read()
             combined.update(disk_entries)
+            combined_profiles.update(disk_profiles)
         combined.update(entries)
+        if profiles:
+            combined_profiles.update(profiles)
         if len(combined) > self.max_entries:
             # Dict order is insertion order: disk entries came first, so
             # dropping from the front keeps the newest verdicts.
@@ -388,6 +447,7 @@ class PersistentCacheStore:
             "format": CACHE_FORMAT_VERSION,
             "fingerprint_version": FINGERPRINT_VERSION,
             "portfolio": self.portfolio_key,
+            "profiles": combined_profiles,
             "entries": [
                 [
                     fingerprint_to_json(key),
@@ -395,6 +455,10 @@ class PersistentCacheStore:
                         "proved": verdict.proved,
                         "refuted": verdict.refuted,
                         "prover": verdict.winning_prover,
+                        # 6 decimals ~ microseconds: plenty for scheduling,
+                        # and it keeps a 2^16-entry store compact.
+                        "wall": round(verdict.wall, 6),
+                        "cpu": round(verdict.cpu, 6),
                     },
                 ]
                 for key, verdict in combined.items()

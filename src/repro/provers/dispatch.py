@@ -26,6 +26,7 @@ end-to-end picture lives in ``docs/architecture.md``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from .cache import CachedVerdict, ProofCache
@@ -71,6 +72,13 @@ class DispatchResult:
     ``"memory"`` / ``"disk"`` for cache hits, depending on whether the
     verdict was produced during this process or loaded from a persistent
     store.
+
+    ``wall`` is the wall-clock duration of the prover phase
+    (:meth:`ProverPortfolio.run_provers`) for sequents that actually ran
+    provers -- measured in whichever process ran them -- and 0.0 for
+    cache hits.  It feeds the scheduler's measured cost profiles
+    (:mod:`repro.verifier.costmodel`); ``elapsed`` stays the per-process
+    CPU total the provers themselves reported.
     """
 
     task: ProofTask
@@ -80,6 +88,7 @@ class DispatchResult:
     attempts: list[ProverResult] = field(default_factory=list)
     cached: bool = False
     cache_origin: str = ""
+    wall: float = 0.0
 
     @property
     def elapsed(self) -> float:
@@ -163,7 +172,9 @@ class ProverPortfolio:
         key, hit = self.consult_cache(task)
         if hit is not None:
             return hit
+        start = time.monotonic()
         result = self.run_provers(task)
+        result.wall = time.monotonic() - start
         self.record_outcome(result)
         self.store_verdict(key, result)
         return result
@@ -174,7 +185,9 @@ class ProverPortfolio:
     # store phase back in the parent -- with counters and verdicts identical
     # to a sequential :meth:`dispatch` loop over the same task order.
 
-    def consult_cache(self, task: ProofTask) -> tuple[tuple | None, DispatchResult | None]:
+    def consult_cache(
+        self, task: ProofTask
+    ) -> tuple[tuple | None, DispatchResult | None]:
         """Phase 1: count the attempt and answer from the cache if possible.
 
         Returns ``(key, hit)`` where ``key`` is the task's fingerprint (or
@@ -230,11 +243,18 @@ class ProverPortfolio:
             self.statistics.sequents_proved += 1
 
     def store_verdict(self, key: tuple | None, result: DispatchResult) -> None:
-        """Phase 3b: remember the verdict for future duplicates."""
+        """Phase 3b: remember the verdict (and its measured cost) for
+        future duplicates and for the persistent store's cost profiles."""
         if self.proof_cache is not None and key is not None:
             self.proof_cache.store(
                 key,
-                CachedVerdict(result.proved, result.refuted, result.winning_prover),
+                CachedVerdict(
+                    result.proved,
+                    result.refuted,
+                    result.winning_prover,
+                    wall=result.wall,
+                    cpu=result.elapsed,
+                ),
             )
 
 

@@ -36,9 +36,21 @@ STRUCTURE_ORDER = (
 #: Relative single-run verification cost per class (measured seconds on the
 #: reference container at benchmark-scaled timeouts).  The suite scheduler
 #: (:mod:`repro.verifier.scheduler`) dispatches shards longest-class-first
-#: using these hints so the expensive classes cannot serialize the tail of a
-#: whole-catalog run.  Only the *ordering* matters for correctness; stale
-#: absolute numbers merely cost a little load balance.
+#: so the expensive classes cannot serialize the tail of a whole-catalog
+#: run.  Since PR 5 these static numbers are only the *third* rung of the
+#: cost fallback chain (:mod:`repro.verifier.costmodel`):
+#:
+#: 1. ``measured`` -- per-sequent prover timings from the warm persistent
+#:    cache (or from dispatches earlier in this process);
+#: 2. ``profile``  -- a persisted per-class cost profile from an earlier
+#:    run (covers classes whose individual sequent timings were evicted);
+#: 3. ``static``   -- this table;
+#: 4. ``default``  -- :data:`DEFAULT_COST_HINT`, for classes in none of
+#:    the above (e.g. ad-hoc structures verified via ``examples/``, which
+#:    graduate to ``measured`` the first time a warm store has seen them).
+#:
+#: Only the *ordering* matters for correctness; stale absolute numbers
+#: merely cost a little load balance.
 CLASS_COST_HINTS: dict[str, float] = {
     "Priority Queue": 17.0,
     "Hash Table": 12.0,
@@ -50,13 +62,20 @@ CLASS_COST_HINTS: dict[str, float] = {
     "Cursor List": 0.3,
 }
 
-#: Scheduling cost assumed for classes without a measured hint (a mid-pack
-#: value: unknown work should start neither first nor last).
+#: Scheduling cost assumed for classes without a measured or static hint
+#: (a mid-pack value: unknown work should start neither first nor last).
+#: The last rung of the fallback chain documented on CLASS_COST_HINTS.
 DEFAULT_COST_HINT = 5.0
 
 
 def cost_hint(name: str) -> float:
-    """The scheduling cost hint for class ``name`` (see CLASS_COST_HINTS)."""
+    """The *static* scheduling cost hint for class ``name``.
+
+    This is only the static tail of the fallback chain documented on
+    :data:`CLASS_COST_HINTS`; schedulers with an engine at hand should
+    ask :meth:`repro.verifier.costmodel.CostModel.class_cost`, which
+    prefers measured profiles and reports which source answered.
+    """
     return CLASS_COST_HINTS.get(name, DEFAULT_COST_HINT)
 
 

@@ -10,6 +10,10 @@ Subcommands::
     jahob-py table2               regenerate Table 2 (slow: verifies twice)
     jahob-py serve                run the warm verification daemon on a
                                   unix socket (--socket) or TCP (--tcp)
+    jahob-py metrics              scheduling metrics of a running daemon:
+                                  per-worker latency histograms, measured
+                                  per-class costs, cache provenance and
+                                  the last suite plan (requires --connect)
     jahob-py shutdown             stop a daemon (requires --connect)
     jahob-py worker               run a remote prover worker (--listen to
                                   await coordinators, --connect to register
@@ -181,6 +185,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="same as the global --secret-file, accepted after 'serve' too",
     )
     subparsers.add_parser(
+        "metrics",
+        help="print a running daemon's scheduling metrics: per-worker "
+        "latency, measured per-class costs, cache provenance and the "
+        "last suite plan (requires --connect)",
+    )
+    subparsers.add_parser(
         "shutdown",
         help="flush the daemon's caches and stop it (requires --connect)",
     )
@@ -280,6 +290,8 @@ def _run_connected(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
         request = {"op": "verify", "name": args.name, "strip": args.no_proofs}
     elif args.command == "table1":
         request = {"op": "table1"}
+    elif args.command == "metrics":
+        request = {"op": "metrics"}
     elif args.command == "shutdown":
         request = {"op": "shutdown"}
     else:
@@ -297,10 +309,13 @@ def _run_connected(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
         for name in response["structures"]:
             print(name)
         return 0
+    if args.command == "metrics":
+        from .report import format_metrics
+
+        print(format_metrics(response))
+        return 0
     if args.command == "shutdown":
-        print(
-            f"daemon stopped ({response.get('cache_entries', 0)} cached verdicts)"
-        )
+        print(f"daemon stopped ({response.get('cache_entries', 0)} cached verdicts)")
         return 0
     print(response["output"])
     return int(response.get("exit", 0))
@@ -399,8 +414,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if args.connect is not None:
         return _run_connected(parser, args)
-    if args.command == "shutdown":
-        print("shutdown requires --connect SOCKET", file=sys.stderr)
+    if args.command in ("shutdown", "metrics"):
+        print(f"{args.command} requires --connect SOCKET", file=sys.stderr)
         return 2
 
     try:

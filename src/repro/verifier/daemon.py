@@ -33,6 +33,9 @@ Supported ``"op"`` values:
               ``names`` is omitted
 ``table1``    suite-scheduled full catalogue, rendered as Table 1
 ``stats``     engine counters (:meth:`PerformanceCounters.as_dict`)
+``metrics``   scheduling observability: per-worker answer-latency
+              histograms, per-class measured cost profiles, cache-hit
+              provenance and the last suite run's schedule plan
 ``shutdown``  flush the persistent cache and stop the server
 ============  =========================================================
 
@@ -84,8 +87,9 @@ from .wire import (
 __all__ = ["PROTOCOL_VERSION", "DaemonError", "VerifierDaemon", "DaemonClient"]
 
 #: Bumped on incompatible protocol changes; ``ping`` reports it so clients
-#: can refuse to talk to a daemon from another era.
-PROTOCOL_VERSION = 2
+#: can refuse to talk to a daemon from another era.  Version 3 added the
+#: ``metrics`` op.
+PROTOCOL_VERSION = 3
 
 #: Hard cap on one request line; a unix-socket peer is trusted, but a
 #: corrupt client must not make the daemon buffer without bound.
@@ -291,9 +295,7 @@ class VerifierDaemon:
             # EADDRINUSE from a concurrent bind race, an unwritable
             # directory, ...: a clean error beats a traceback.
             server.close()
-            raise DaemonError(
-                f"cannot bind {self.socket_path}: {exc}"
-            ) from exc
+            raise DaemonError(f"cannot bind {self.socket_path}: {exc}") from exc
         # A finite accept timeout keeps the loop responsive to stop();
         # requests themselves are served without a deadline (proving is
         # slow by design).
@@ -542,6 +544,45 @@ class VerifierDaemon:
                     worker.label
                     for worker in getattr(pool, "_workers", ())
                 ],
+            }
+        return response
+
+    def _op_metrics(self, request: dict) -> dict:
+        """Scheduling observability, answered lock-free (like ``stats``):
+        latency histograms, measured class costs, cache provenance and
+        the last suite plan are all readable while the engine proves."""
+        engine = self.engine
+        counters = performance_counters(engine.portfolio)
+        response = {
+            "protocol": PROTOCOL_VERSION,
+            "counters": counters.as_dict(),
+            "cost_model": engine.cost_model.as_dict(),
+            "workers": engine.worker_metrics(),
+            "schedule": None,
+        }
+        stats = engine.last_suite_stats
+        if stats is not None:
+            response["schedule"] = {
+                "jobs": stats.jobs,
+                "backend": stats.backend,
+                "order": list(stats.schedule_order),
+                "classes": [
+                    {
+                        "class": cls.class_name,
+                        "cost": round(cls.cost_hint, 6),
+                        "source": cls.hint_source,
+                        "sequents": cls.sequents,
+                        "dispatched": cls.dispatched,
+                        "cache_hits": cls.hits_memory + cls.hits_disk,
+                        "duplicates": cls.duplicates_folded,
+                    }
+                    for cls in stats.classes
+                ],
+            }
+        if engine.persistent_store is not None:
+            response["persistent_cache"] = {
+                "path": str(engine.persistent_store.path),
+                "status": engine.persistent_store.last_load_status,
             }
         return response
 

@@ -34,6 +34,7 @@ from ..provers.result import ProofTask
 from ..vcgen.assumptions import relevance_filter
 from ..vcgen.sequent import Sequent
 from ..vcgen.vcgen import VcGenerator
+from .costmodel import CostModel
 from .strip import strip_proofs_from_class
 
 __all__ = ["SequentOutcome", "MethodReport", "ClassReport", "VerificationEngine"]
@@ -214,10 +215,19 @@ class VerificationEngine:
         self.last_suite_stats = None
         self._pool = None
         self._flushed_mutations = 0
+        self._flushed_profile_mutations = 0
+        #: Measured cost profiles feeding the suite scheduler's adaptive
+        #: planning and the daemon's ``metrics`` op.
+        self.cost_model = CostModel()
         if cache_dir is not None and self.portfolio.proof_cache is not None:
             spec = PortfolioSpec.from_portfolio(self.portfolio)
             self.persistent_store = PersistentCacheStore(cache_dir, spec.cache_key)
-            self.portfolio.proof_cache.preload(self.persistent_store.load())
+            entries = self.persistent_store.load()
+            self.portfolio.proof_cache.preload(entries)
+            # The cost model sees *every* persisted timing, including the
+            # tail the preload cap keeps out of the verdict cache.
+            self.cost_model.ingest_entries(entries)
+            self.cost_model.ingest_profiles(self.persistent_store.last_profiles)
 
     # -- sequent generation ------------------------------------------------------
 
@@ -254,9 +264,16 @@ class VerificationEngine:
         """Verify one method, dispatching every sequent to the portfolio."""
         start = time.monotonic()
         report = MethodReport(cls.name, method.name)
+        cache = self.portfolio.proof_cache
         for sequent in self.method_sequents(cls, method):
-            dispatch = self.portfolio.dispatch(self.task_for(sequent))
+            task = self.task_for(sequent)
+            dispatch = self.portfolio.dispatch(task)
             report.outcomes.append(SequentOutcome(sequent, dispatch))
+            if not dispatch.cached:
+                # key() re-fingerprints, but fingerprints are memoized so
+                # this is a dict lookup, not a traversal.
+                key = cache.key(task) if cache is not None else None
+                self.observe_timing(cls.name, key, dispatch)
         report.elapsed = time.monotonic() - start
         return report
 
@@ -297,6 +314,19 @@ class VerificationEngine:
             for method in target.methods:
                 report.methods.append(self.verify_method(target, method))
             self.last_parallel_stats = None
+            cache = self.portfolio.proof_cache
+            if cache is not None:
+                # Same ground-truth profile rebuild the scheduled paths
+                # do; the dispatched tasks ride in the report, so no
+                # sequent regeneration is needed.
+                self.cost_model.reprofile(
+                    target.name,
+                    [
+                        cache.key(outcome.dispatch.task)
+                        for method_report in report.methods
+                        for outcome in method_report.outcomes
+                    ],
+                )
         self.last_suite_stats = None
         self.flush_persistent_cache()
         return report
@@ -380,6 +410,12 @@ class VerificationEngine:
         """Whether a warm worker pool is currently forked."""
         return self._pool is not None and self._pool.started
 
+    def worker_metrics(self) -> list[dict]:
+        """Per-worker latency metrics of the current warm pool (empty for
+        in-process pools, whose workers answer through a local pipe)."""
+        metrics = getattr(self._pool, "worker_metrics", None)
+        return metrics() if metrics is not None else []
+
     def warm_pool(self) -> None:
         """Fork the warm worker pool up front.
 
@@ -422,6 +458,15 @@ class VerificationEngine:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- cost model ------------------------------------------------------------------
+
+    def observe_timing(self, class_name: str, key, result) -> None:
+        """Fold one actually-dispatched sequent's measured cost into the
+        cost model (cache hits carry no new timing and are ignored)."""
+        if result.cached:
+            return
+        self.cost_model.observe(class_name, key, result.wall, result.elapsed)
+
     # -- persistence ---------------------------------------------------------------
 
     def flush_persistent_cache(self) -> int:
@@ -429,12 +474,24 @@ class VerificationEngine:
 
         No-op (returning 0) without a store, with ``persist`` disabled, or
         when no new verdict was learned since the last flush; otherwise
-        returns the number of entries now on disk.
+        returns the number of entries now on disk.  The cost model's
+        per-class profiles ride along with every flush.
         """
         cache = self.portfolio.proof_cache
         if self.persistent_store is None or not self.persist or cache is None:
             return 0
-        if cache.mutations == self._flushed_mutations:
+        # Profiles mutate *after* the run's last verdict checkpoint, so
+        # they need their own dirtiness check: a suite whose dispatch
+        # count is an exact multiple of the checkpoint interval would
+        # otherwise leave the final flush with nothing-new verdicts and
+        # silently drop the run's profiles.
+        if (
+            cache.mutations == self._flushed_mutations
+            and self.cost_model.mutations == self._flushed_profile_mutations
+        ):
             return 0
         self._flushed_mutations = cache.mutations
-        return self.persistent_store.save(cache.snapshot())
+        self._flushed_profile_mutations = self.cost_model.mutations
+        return self.persistent_store.save(
+            cache.snapshot(), profiles=self.cost_model.profiles_snapshot()
+        )

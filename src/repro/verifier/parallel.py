@@ -369,16 +369,19 @@ def run_shard(
             pid = os.getpid()
             for index, task in indexed:
                 task_start = time.monotonic()
-                results[index] = engine.portfolio.run_provers(task)
-                stats.fold_worker(pid, 1, time.monotonic() - task_start)
+                result = engine.portfolio.run_provers(task)
+                result.wall = time.monotonic() - task_start
+                results[index] = result
+                stats.fold_worker(pid, 1, result.wall)
                 if on_result is not None:
-                    on_result(shard[index], results[index])
+                    on_result(shard[index], result)
         else:
             spec = PortfolioSpec.from_portfolio(engine.portfolio)
             pool = engine.acquire_pool(spec, jobs, shard_size=len(shard))
             stats.backend = pool.backend_name
             try:
                 for index, pid, wall, result in pool.run(indexed):
+                    result.wall = wall
                     results[index] = result
                     stats.fold_worker(pid, 1, wall)
                     if on_result is not None:
@@ -453,9 +456,7 @@ def build_class_report(target: ClassModel, slots: list[_Slot]):
         method_report = MethodReport(target.name, method.name)
         for slot in slots:
             if slot.method_index == method_index:
-                method_report.outcomes.append(
-                    SequentOutcome(slot.sequent, slot.result)
-                )
+                method_report.outcomes.append(SequentOutcome(slot.sequent, slot.result))
         method_report.elapsed = sum(
             outcome.dispatch.elapsed for outcome in method_report.outcomes
         )
@@ -480,4 +481,7 @@ def verify_class_parallel(engine, target: ClassModel, jobs: int):
     results = run_shard(engine, shard, jobs, stats)
     resolve_shard(portfolio, shard, results)
     resolve_duplicates(portfolio, slots, results)
+    for slot in shard:
+        engine.observe_timing(target.name, slot.key, results[slot.shard_index])
+    engine.cost_model.reprofile(target.name, [slot.key for slot in slots])
     return build_class_report(target, slots), stats

@@ -40,10 +40,12 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections import deque
 
 from ..provers.dispatch import PortfolioSpec
 from .parallel import WorkerBackend
+from .stats import LatencyHistogram
 from .wire import (
     HANDSHAKE_TIMEOUT,
     HandshakeError,
@@ -66,14 +68,25 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
 ]
 
-#: Tasks kept in flight per worker.  A refill is sent whenever a worker's
-#: in-flight count drops below the batch size, so workers never idle
-#: between batches while tasks remain.
+#: Upper bound on tasks kept in flight per worker.  A refill is sent
+#: whenever a worker's in-flight count drops below its *window* -- the
+#: per-worker share of this bound scaled by observed throughput (see
+#: :meth:`RemoteWorkerPool._window`) -- so workers never idle between
+#: batches while tasks remain, and slow workers stop hoarding.
 DEFAULT_BATCH_SIZE = 4
 
 #: How long a pool with a registry waits for a replacement worker when
 #: every connection died with tasks still pending.
 _REPLACEMENT_WAIT = 30.0
+
+#: How often a dispatching run with a registry interrupts its event wait
+#: to adopt newly registered workers.  Without this bound a newcomer
+#: would sit idle until some existing worker answered or died.
+_ADOPTION_POLL = 0.5
+
+#: Smoothing factor of the per-worker task-wall EWMA (the weight of the
+#: newest sample).
+_LATENCY_ALPHA = 0.3
 
 
 class RemoteWorkerError(RuntimeError):
@@ -106,11 +119,23 @@ class WorkerConnection:
         self.label = f"{self.host}/{self.pid}"
         #: shard_index -> ProofTask for everything sent but not answered.
         self.inflight: dict[int, object] = {}
+        #: shard_index -> monotonic send time (answer-latency measurement).
+        self.sent_at: dict[int, float] = {}
         self.initialized = False
         #: The current run's event sink; the reader reads it at push time.
         self.events: queue.SimpleQueue | None = None
         self.reader_started = False
         self.dead = False
+        #: Exponentially weighted per-task service time, from the
+        #: *worker-reported* wall seconds of each answer; ``None`` until
+        #: the first answer.  Drives the pool's heterogeneous in-flight
+        #: windows.  Deliberately not the coordinator-side sojourn: that
+        #: includes queueing behind the worker's own window, which feeds
+        #: back into the window computation and makes it oscillate.
+        self.ewma_task_wall: float | None = None
+        #: Coordinator-side answer-latency distribution (send -> result
+        #: receipt, queueing included) for the daemon's ``metrics`` op.
+        self.latency = LatencyHistogram()
 
     def send_init(self, spec: PortfolioSpec) -> None:
         self.channel.send(
@@ -119,8 +144,10 @@ class WorkerConnection:
         self.initialized = True
 
     def send_batch(self, tasks: list[tuple[int, object]]) -> None:
+        now = time.monotonic()
         for index, task in tasks:
             self.inflight[index] = task
+            self.sent_at[index] = now
         self.channel.send(
             {
                 "op": "batch",
@@ -129,6 +156,36 @@ class WorkerConnection:
                 ],
             }
         )
+
+    def observe_answer(self, task_wall: float, sojourn: float | None) -> None:
+        """Fold one answer in: the worker-reported per-task wall updates
+        the throughput EWMA, the coordinator-side sojourn (when known)
+        goes to the latency histogram."""
+        if sojourn is not None:
+            self.latency.add(sojourn)
+        if task_wall <= 0.0:
+            return
+        if self.ewma_task_wall is None:
+            self.ewma_task_wall = task_wall
+        else:
+            self.ewma_task_wall = (
+                _LATENCY_ALPHA * task_wall
+                + (1.0 - _LATENCY_ALPHA) * self.ewma_task_wall
+            )
+
+    def metrics(self) -> dict:
+        """JSON-ready per-worker scheduling metrics (``metrics`` op)."""
+        return {
+            "worker": self.label,
+            "origin": self.origin,
+            "ewma_task_wall": (
+                round(self.ewma_task_wall, 6)
+                if self.ewma_task_wall is not None
+                else None
+            ),
+            "inflight": len(self.inflight),
+            "latency": self.latency.as_dict(),
+        }
 
     def close(self) -> None:
         try:
@@ -286,13 +343,20 @@ class RemoteWorkerPool(WorkerBackend):
         """Dispatch ``(index, task)`` pairs; yields ``(index, label, wall,
         result)`` in completion order, exactly like the in-process pool.
 
-        Scheduling: every worker keeps up to ``batch_size`` tasks in
-        flight; whenever one answers, it is refilled from the front of
-        the pending queue (dispatch order is preserved, which is what the
-        suite scheduler's longest-class-first ordering relies on).  A
-        worker that disconnects gets its unanswered tasks requeued onto
-        the survivors; with none left, the pool waits briefly for a
-        replacement registration before giving up.
+        Scheduling: every worker keeps up to its *window* of tasks in
+        flight -- ``batch_size`` scaled down (to as little as 1) by the
+        worker's observed answer latency relative to the fastest peer
+        (:meth:`_window`), so a slow or distant worker stops hoarding
+        long sequents while fast workers idle.  Whenever a worker
+        answers, it is refilled from the front of the pending queue
+        (dispatch order is preserved, which is what the suite scheduler's
+        longest-class-first ordering relies on).  A worker that
+        disconnects gets its unanswered tasks requeued onto the
+        survivors; with none left, the pool waits briefly for a
+        replacement registration before giving up.  With a registry, the
+        event wait is interrupted every ``_ADOPTION_POLL`` seconds so a
+        worker that registers mid-run is put to work immediately --
+        not only after some existing worker answers or dies.
         """
         if not items:
             return
@@ -312,11 +376,12 @@ class RemoteWorkerPool(WorkerBackend):
             worker.channel.close()
             requeued = sorted(worker.inflight.items())
             worker.inflight.clear()
+            worker.sent_at.clear()
             if requeued:
                 pending.extendleft(reversed(requeued))
 
         def refill(worker: WorkerConnection) -> None:
-            room = self.batch_size - len(worker.inflight)
+            room = self._window(worker, live) - len(worker.inflight)
             if room <= 0 or not pending:
                 return
             batch = [pending.popleft() for _ in range(min(room, len(pending)))]
@@ -328,6 +393,7 @@ class RemoteWorkerPool(WorkerBackend):
                 # inflight map afterwards.
                 for index, task in reversed(batch):
                     worker.inflight.pop(index, None)
+                    worker.sent_at.pop(index, None)
                     pending.appendleft((index, task))
                 drop(worker)
 
@@ -337,6 +403,7 @@ class RemoteWorkerPool(WorkerBackend):
                 drop(worker)
                 return
             worker.inflight.clear()
+            worker.sent_at.clear()
             worker.events = events
             if not worker.reader_started:
                 worker.reader_started = True
@@ -350,15 +417,19 @@ class RemoteWorkerPool(WorkerBackend):
             live.append(worker)
             refill(worker)
 
+        def adopt_newcomers() -> None:
+            if self.registry is None:
+                return
+            newcomer = self.registry.adopt()
+            while newcomer is not None:
+                self._workers.append(newcomer)
+                attach(newcomer)
+                newcomer = self.registry.adopt()
+
         for worker in list(self._workers):
             attach(worker)
         while len(done) < len(items):
-            if self.registry is not None:
-                newcomer = self.registry.adopt()
-                while newcomer is not None:
-                    self._workers.append(newcomer)
-                    attach(newcomer)
-                    newcomer = self.registry.adopt()
+            adopt_newcomers()
             if not live:
                 replacement = self._wait_for_replacement()
                 if replacement is None:
@@ -369,10 +440,22 @@ class RemoteWorkerPool(WorkerBackend):
                 self._workers.append(replacement)
                 attach(replacement)
                 continue
-            kind, worker, *rest = events.get()
+            try:
+                # A bounded wait (registry only): newly registered
+                # workers must be adopted even while every live worker is
+                # deep in a long prover task and no event is coming.
+                kind, worker, *rest = events.get(
+                    timeout=_ADOPTION_POLL if self.registry is not None else None
+                )
+            except queue.Empty:
+                continue
             if kind == "result":
                 index, wall, payload = rest
                 worker.inflight.pop(index, None)
+                sent = worker.sent_at.pop(index, None)
+                worker.observe_answer(
+                    wall, time.monotonic() - sent if sent is not None else None
+                )
                 refill(worker)
                 if index in done:
                     continue  # belt: a verdict can only count once
@@ -380,8 +463,13 @@ class RemoteWorkerPool(WorkerBackend):
                 yield index, worker.label, wall, decode_payload(payload)
             elif kind == "error":
                 index, message = rest
+                label = worker.label
+                # Drop every connection before raising: the abandoned
+                # generator must not leak sockets and reader threads on
+                # the surviving workers.
+                self.close()
                 raise RemoteWorkerError(
-                    f"worker {worker.label} failed on task {index}: {message}"
+                    f"worker {label} failed on task {index}: {message}"
                 )
             else:  # "gone"
                 drop(worker)
@@ -397,7 +485,42 @@ class RemoteWorkerPool(WorkerBackend):
         self._workers = []
         self._dialed = False
 
+    def worker_metrics(self) -> list[dict]:
+        """Per-connection scheduling metrics (latency EWMA + histogram),
+        JSON-ready for the daemon's ``metrics`` op.  Iterates a list()
+        snapshot: the op is lock-free and a mid-run drop/adopt mutates
+        ``_workers`` concurrently."""
+        return [worker.metrics() for worker in list(self._workers)]
+
     # -- internals ---------------------------------------------------------------
+
+    def _window(self, worker: WorkerConnection, peers: list[WorkerConnection]) -> int:
+        """The worker's current in-flight window, between 1 and
+        ``batch_size``.
+
+        Throughput is estimated by the EWMA of *worker-reported* per-task
+        wall time: a worker ``k`` times slower than the fastest live peer
+        gets roughly ``batch_size / k`` tasks in flight.  (Service time,
+        not coordinator-side sojourn: sojourn includes queueing behind the
+        worker's own window, which would feed the window back into itself
+        and oscillate.)  An unmeasured worker (no answer yet) gets the
+        full window -- the first answers are what calibrate it.  With
+        homogeneous workers every ratio is ~1 and the windows stay at
+        ``batch_size``, the pre-PR-5 behaviour.
+        """
+        ewma = worker.ewma_task_wall
+        if ewma is None or ewma <= 0.0:
+            return self.batch_size
+        fastest = min(
+            (
+                peer.ewma_task_wall
+                for peer in peers
+                if peer.ewma_task_wall is not None and peer.ewma_task_wall > 0.0
+            ),
+            default=ewma,
+        )
+        scaled = int(self.batch_size * fastest / ewma + 0.5)
+        return max(1, min(self.batch_size, scaled))
 
     def _dial(self, address: str) -> WorkerConnection:
         try:

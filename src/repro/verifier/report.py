@@ -32,6 +32,7 @@ __all__ = [
     "format_parallel",
     "format_suite",
     "format_verify",
+    "format_metrics",
 ]
 
 
@@ -301,11 +302,14 @@ def format_suite(stats) -> str:
         f"  dispatch order      {', '.join(stats.schedule_order)}",
     ]
     lines += _dispatch_counter_lines(stats)
-    header = ["class", "cost hint", "sequents", "dispatched", "cache", "dup"]
+    header = [
+        "class", "cost hint", "hint src", "sequents", "dispatched", "cache", "dup"
+    ]
     rows = [
         [
             cls.class_name,
-            f"{cls.cost_hint:g}",
+            f"{cls.cost_hint:.3g}",
+            getattr(cls, "hint_source", "static"),
             str(cls.sequents),
             str(cls.dispatched),
             str(cls.hits_memory + cls.hits_disk),
@@ -315,6 +319,95 @@ def format_suite(stats) -> str:
     ]
     lines.extend("  " + line for line in format_table(header, rows).splitlines())
     lines += _worker_load_lines(stats)
+    return "\n".join(lines)
+
+
+def format_metrics(payload: dict) -> str:
+    """Render the daemon's ``metrics`` response as aligned text.
+
+    The CLI's ``jahob-py metrics --connect`` prints exactly this; the
+    payload is the JSON object
+    :meth:`~repro.verifier.daemon.VerifierDaemon._op_metrics` builds, so
+    the sections mirror its fields (cache provenance, measured class
+    costs, the last suite plan, per-worker latency).
+    """
+    lines = [f"Daemon metrics (protocol {payload.get('protocol', '?')})"]
+    counters = payload.get("counters") or {}
+    lines.append("Cache provenance")
+    lines.append(
+        f"  proof cache hits    {counters.get('proof_cache_hits', 0)} "
+        f"(memory {counters.get('proof_cache_hits_memory', 0)}, "
+        f"disk {counters.get('proof_cache_hits_disk', 0)})"
+    )
+    lines.append(f"  proof cache misses  {counters.get('proof_cache_misses', 0)}")
+    store = payload.get("persistent_cache")
+    if store:
+        lines.append(
+            f"  persistent store    {store.get('path')} ({store.get('status')})"
+        )
+    cost_model = payload.get("cost_model") or {}
+    classes = cost_model.get("classes") or {}
+    lines.append(
+        f"Measured class costs "
+        f"({cost_model.get('sequent_timings', 0)} sequent timings)"
+    )
+    if classes:
+        header = ["class", "wall (s)", "cpu (s)", "sequents", "mean (s)"]
+        rows = [
+            [
+                name,
+                f"{data.get('wall', 0.0):.2f}",
+                f"{data.get('cpu', 0.0):.2f}",
+                str(data.get("sequents", 0)),
+                f"{data.get('mean_wall', 0.0):.3f}",
+            ]
+            for name, data in sorted(classes.items())
+        ]
+        lines.extend("  " + line for line in format_table(header, rows).splitlines())
+    else:
+        lines.append("  (no measured profiles yet)")
+    schedule = payload.get("schedule")
+    if schedule:
+        lines.append(
+            f"Last suite plan ({schedule.get('jobs')} jobs, "
+            f"{schedule.get('backend')} backend)"
+        )
+        lines.append(f"  dispatch order      {', '.join(schedule.get('order', []))}")
+        header = ["class", "cost", "source", "sequents", "dispatched", "cache", "dup"]
+        rows = [
+            [
+                entry.get("class", "?"),
+                f"{entry.get('cost', 0.0):.3g}",
+                entry.get("source", "?"),
+                str(entry.get("sequents", 0)),
+                str(entry.get("dispatched", 0)),
+                str(entry.get("cache_hits", 0)),
+                str(entry.get("duplicates", 0)),
+            ]
+            for entry in schedule.get("classes", [])
+        ]
+        lines.extend("  " + line for line in format_table(header, rows).splitlines())
+    workers = payload.get("workers") or []
+    lines.append("Remote workers")
+    if not workers:
+        lines.append("  (none connected)")
+    for worker in workers:
+        latency = worker.get("latency") or {}
+        ewma = worker.get("ewma_task_wall")
+        ewma_text = f"{ewma:.3f}s" if isinstance(ewma, (int, float)) else "n/a"
+        lines.append(
+            f"  {worker.get('worker', '?')} ({worker.get('origin', '?')}): "
+            f"task ewma {ewma_text}, {latency.get('count', 0)} answers, "
+            f"mean {latency.get('mean', 0.0):.3f}s, "
+            f"max {latency.get('max', 0.0):.3f}s"
+        )
+        bands = [
+            (f"<={bound}s" if bound != "inf" else "slower") + f": {count}"
+            for bound, count in latency.get("buckets", [])
+            if count
+        ]
+        if bands:
+            lines.append("    latency histogram " + ", ".join(bands))
     return "\n".join(lines)
 
 

@@ -13,10 +13,15 @@ graph**:
    suite-wide shard and pending map), so verdicts, prover attribution and
    cache counters stay bit-identical to per-class sequential runs;
 2. the surviving unique misses of *all* classes are interleaved across the
-   existing worker pool in **longest-class-first** order (cost hints from
-   :data:`repro.suite.catalog.CLASS_COST_HINTS`), so the expensive Hash
-   Table / Priority Queue / Binary Tree shards start immediately instead
-   of gating the tail of the run;
+   existing worker pool in **longest-class-first** order.  Class cost
+   comes from the engine's :class:`~repro.verifier.costmodel.CostModel`
+   -- measured per-sequent profiles where the warm persistent store (or
+   this process) has timings, persisted per-class profiles next, then the
+   static :data:`repro.suite.catalog.CLASS_COST_HINTS` table, and only
+   then :data:`~repro.suite.catalog.DEFAULT_COST_HINT`; each class's
+   :class:`ClassScheduleStats` records which source won.  Within a class,
+   sequents with measured timings dispatch longest-first ahead of
+   unmeasured ones (which keep their sequential order);
 3. the merge replays verdicts in deterministic shard order and assembles
    one :class:`~repro.verifier.engine.ClassReport` per class, in the input
    order.
@@ -34,6 +39,7 @@ from dataclasses import dataclass, field
 
 from ..frontend.ast import ClassModel
 from ..suite.catalog import cost_hint
+from .costmodel import HINT_STATIC, CostModel
 from .parallel import (
     ParallelRunStats,
     _Slot,
@@ -53,7 +59,13 @@ _CHECKPOINT_EVERY = 32
 
 @dataclass
 class ClassScheduleStats:
-    """One class's share of a suite-scheduled run."""
+    """One class's share of a suite-scheduled run.
+
+    ``hint_source`` names which rung of the cost model's fallback chain
+    produced ``cost_hint`` (``measured`` / ``profile`` / ``static`` /
+    ``default`` -- see :mod:`repro.verifier.costmodel`), so a warm run's
+    plan visibly derives from measured profiles.
+    """
 
     class_name: str
     cost_hint: float
@@ -62,6 +74,7 @@ class ClassScheduleStats:
     hits_memory: int = 0
     hits_disk: int = 0
     duplicates_folded: int = 0
+    hint_source: str = HINT_STATIC
 
 
 @dataclass
@@ -77,12 +90,21 @@ class SuiteRunStats(ParallelRunStats):
     schedule_order: list[str] = field(default_factory=list)
 
 
-def plan_dispatch_order(classes: list[ClassModel]) -> list[int]:
-    """Class indices in dispatch order: descending cost hint, ties by
-    input (catalogue) order.  Pure and deterministic."""
+def plan_dispatch_order(
+    classes: list[ClassModel], costs: list[float] | None = None
+) -> list[int]:
+    """Class indices in dispatch order: descending cost, ties by input
+    (catalogue) order.  Pure and deterministic.
+
+    ``costs`` are the per-class costs to sort by (the suite scheduler
+    passes the cost model's measured-first numbers); without them the
+    static catalogue hints are used.
+    """
+    if costs is None:
+        costs = [cost_hint(cls.name) for cls in classes]
     return sorted(
         range(len(classes)),
-        key=lambda index: (-cost_hint(classes[index].name), index),
+        key=lambda index: (-costs[index], index),
     )
 
 
@@ -97,6 +119,7 @@ def verify_suite(engine, classes: list[ClassModel], jobs: int):
     ``jobs`` in {1, 2, 4}).
     """
     portfolio = engine.portfolio
+    cost_model: CostModel = getattr(engine, "cost_model", None) or CostModel()
     stats = SuiteRunStats(jobs=jobs)
 
     # Phase 1: plan every class against the (shared) cache, in catalogue
@@ -114,27 +137,51 @@ def verify_suite(engine, classes: list[ClassModel], jobs: int):
         slots = plan_class(engine, cls, shard, pending_by_key, stats)
         planned.append((cls, slots))
         shard_ranges.append((shard_start, len(shard)))
+        cost, source = cost_model.class_cost(cls.name, [slot.key for slot in slots])
         stats.classes.append(
             ClassScheduleStats(
                 class_name=cls.name,
-                cost_hint=cost_hint(cls.name),
+                cost_hint=cost,
                 sequents=len(slots),
                 dispatched=len(shard) - shard_start,
                 hits_memory=stats.hits_memory - before[0],
                 hits_disk=stats.hits_disk - before[1],
                 duplicates_folded=stats.duplicates_folded - before[2],
+                hint_source=source,
             )
         )
     stats.dispatched = len(shard)
 
     # Phase 2: interleave the whole suite's misses across the pool,
-    # longest class first (within a class, sequent order is preserved).
-    class_order = plan_dispatch_order(classes)
+    # longest class first by measured-first cost.  What gates the run is
+    # each class's *remaining* work, not its historical total -- a warm
+    # class with one straggler must not lead a cold class's real load --
+    # so the ordering cost is the class cost scaled by its dispatched
+    # fraction.  Within a class, sequents with measured timings go
+    # longest-first ahead of the unmeasured rest (which keep sequential
+    # order); reordering dispatch is invisible in the results -- the
+    # merge indexes by shard position.
+    class_order = plan_dispatch_order(
+        classes,
+        costs=[
+            entry.cost_hint * entry.dispatched / entry.sequents
+            if entry.sequents
+            else 0.0
+            for entry in stats.classes
+        ],
+    )
     stats.schedule_order = [classes[index].name for index in class_order]
+
+    def slot_rank(position: int):
+        measured = cost_model.sequent_cost(shard[position].key)
+        if measured is None:
+            return (1, 0.0, position)
+        return (0, -measured, position)
+
     order: list[int] = []
     for index in class_order:
         start, end = shard_ranges[index]
-        order.extend(range(start, end))
+        order.extend(sorted(range(start, end), key=slot_rank))
 
     # Checkpoint verdicts to the persistent store as they arrive so an
     # interrupted multi-minute run keeps what it already proved (the
@@ -158,7 +205,16 @@ def verify_suite(engine, classes: list[ClassModel], jobs: int):
     # dispatched verdict, so the replay only does the accounting.
     resolve_shard(portfolio, shard, results, store=False)
     reports = []
+    observe = getattr(engine, "observe_timing", None)
     for cls, slots in planned:
         resolve_duplicates(portfolio, slots, results)
+        if observe is not None:
+            for slot in slots:
+                if slot.shard_index is not None:
+                    observe(cls.name, slot.key, results[slot.shard_index])
+            # The slots are the class's complete current fingerprint set:
+            # rebuild the profile from ground truth instead of letting
+            # increments drift across edits/evictions.
+            cost_model.reprofile(cls.name, [slot.key for slot in slots])
         reports.append(build_class_report(cls, slots))
     return reports, stats

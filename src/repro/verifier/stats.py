@@ -28,6 +28,8 @@ __all__ = [
     "TABLE1_CONSTRUCT_ORDER",
     "PerformanceCounters",
     "performance_counters",
+    "LATENCY_BUCKETS",
+    "LatencyHistogram",
 ]
 
 #: Proof construct columns in the order Table 1 lists them.
@@ -69,6 +71,55 @@ class ClassStatistics:
             for name, count in self.construct_counts.items()
             if name in PROOF_CONSTRUCT_NAMES
         )
+
+
+#: Upper bucket bounds (seconds) for worker answer-latency histograms --
+#: log-spaced from "local process pool" to "prover near its timeout".
+LATENCY_BUCKETS = (0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0)
+
+
+class LatencyHistogram:
+    """A tiny fixed-bucket histogram of observed latencies (seconds).
+
+    The remote worker pool keeps one per connection (answer latency,
+    coordinator-side); the daemon's ``metrics`` op ships
+    :meth:`as_dict`.  Buckets are cumulative-free counts per band:
+    ``counts[i]`` is the number of samples in
+    ``(LATENCY_BUCKETS[i-1], LATENCY_BUCKETS[i]]``, with one overflow
+    band at the end.
+    """
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(LATENCY_BUCKETS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.peak = 0.0
+
+    def add(self, seconds: float) -> None:
+        for index, bound in enumerate(LATENCY_BUCKETS):
+            if seconds <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.count += 1
+        self.total += seconds
+        self.peak = max(self.peak, seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot: summary numbers plus per-band counts."""
+        bands = [[bound, count] for bound, count in zip(LATENCY_BUCKETS, self.counts)]
+        bands.append(["inf", self.counts[-1]])
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 6),
+            "max": round(self.peak, 6),
+            "buckets": bands,
+        }
 
 
 def _count_loops(statements: tuple[Stmt, ...]) -> int:

@@ -31,7 +31,9 @@ from repro.verifier.engine import VerificationEngine
 
 def sample_entries() -> dict[tuple, CachedVerdict]:
     return {
-        (("a", ("v", "x", "int")), ("t", True)): CachedVerdict(True, False, "smt"),
+        (("a", ("v", "x", "int")), ("t", True)): CachedVerdict(
+            True, False, "smt", wall=0.125, cpu=0.118
+        ),
         (("b", 3), ("i", -12)): CachedVerdict(False, True, "model-finder"),
         ((), ("c", "null", "obj")): CachedVerdict(False, False, ""),
     }
@@ -67,8 +69,78 @@ class TestRoundTrip:
             assert loaded[key].proved == verdict.proved
             assert loaded[key].refuted == verdict.refuted
             assert loaded[key].winning_prover == verdict.winning_prover
+            # Measured timings survive the round trip (0.0 when the
+            # sequent was never actually dispatched).
+            assert loaded[key].wall == verdict.wall
+            assert loaded[key].cpu == verdict.cpu
             # Provenance is rewritten on load.
             assert loaded[key].origin == "disk"
+
+    def test_profiles_round_trip_and_merge(self, tmp_path):
+        store = PersistentCacheStore(tmp_path, "k")
+        store.save(
+            {},
+            profiles={"Hash Table": {"wall": 12.5, "cpu": 11.0, "sequents": 58}},
+        )
+        store.save(
+            {},
+            profiles={"Array List": {"wall": 0.5, "cpu": 0.4, "sequents": 26}},
+        )
+        store.load()
+        # Merge-saves union profiles per class, like entries.
+        assert set(store.last_profiles) == {"Hash Table", "Array List"}
+        assert store.last_profiles["Hash Table"]["wall"] == 12.5
+        assert store.last_profiles["Array List"]["sequents"] == 26
+
+    def test_damaged_profiles_are_skipped(self, tmp_path):
+        store = PersistentCacheStore(tmp_path, "smt:4")
+        store.save(
+            sample_entries(),
+            profiles={"Good": {"wall": 1.0, "cpu": 0.9, "sequents": 3}},
+        )
+        payload = json.loads(store.path.read_text())
+        payload["profiles"]["Bad"] = {"wall": "not a number"}
+        payload["profiles"]["Worse"] = "not even a mapping"
+        store.path.write_text(json.dumps(payload))
+        entries = store.load()
+        assert set(entries) == set(sample_entries())
+        assert set(store.last_profiles) == {"Good"}
+
+    def test_old_format_store_cold_starts_cleanly(self, tmp_path):
+        """A pre-v2 store (format 1: no timings, no profiles) must be
+        discarded as a cold start, never misread or crashed on."""
+        store = PersistentCacheStore(tmp_path, "smt:4")
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        old_payload = {
+            "format": 1,
+            "fingerprint_version": FINGERPRINT_VERSION,
+            "portfolio": "smt:4",
+            "entries": [
+                [[["i", 1]], {"proved": True, "refuted": False, "prover": "smt"}]
+            ],
+        }
+        store.path.write_text(json.dumps(old_payload))
+        assert store.load() == {}
+        assert store.last_load_status == "cold:format-mismatch"
+        assert store.last_profiles == {}
+        # A save over the old store recovers to the current format.
+        store.save(sample_entries())
+        assert len(store.load()) == len(sample_entries())
+        assert store.last_load_status.startswith("warm:")
+
+    def test_entries_without_timing_fields_load_as_unmeasured(self, tmp_path):
+        """Entry-level tolerance: a v2 store whose entries lack wall/cpu
+        (e.g. hand-edited) still loads, with timings defaulting to 0."""
+        store = PersistentCacheStore(tmp_path, "smt:4")
+        store.save(sample_entries())
+        payload = json.loads(store.path.read_text())
+        for _, verdict in payload["entries"]:
+            verdict.pop("wall", None)
+            verdict.pop("cpu", None)
+        store.path.write_text(json.dumps(payload))
+        loaded = store.load()
+        assert set(loaded) == set(sample_entries())
+        assert all(v.wall == 0.0 and v.cpu == 0.0 for v in loaded.values())
 
     def test_missing_file_is_cold(self, tmp_path):
         store = PersistentCacheStore(tmp_path, "smt:4")
@@ -192,7 +264,9 @@ class TestCorruptionRecovery:
             ["not-a-fingerprint", {"proved": True, "refuted": False, "prover": "smt"}]
         )
         payload["entries"].append([[["i", 9]], "not a verdict"])
-        payload["entries"].append([[["i", 9.5]], {"proved": True, "refuted": False, "prover": "x"}])
+        payload["entries"].append(
+            [[["i", 9.5]], {"proved": True, "refuted": False, "prover": "x"}]
+        )
         payload["entries"].append("not even a pair")
         store.path.write_text(json.dumps(payload))
         loaded = store.load()
@@ -246,9 +320,7 @@ class TestEngineWiring:
             default_portfolio().scaled(0.4), cache_dir=tmp_path, **kwargs
         )
 
-    def test_second_run_hits_disk_with_identical_verdicts(
-        self, tmp_path, linked_list
-    ):
+    def test_second_run_hits_disk_with_identical_verdicts(self, tmp_path, linked_list):
         first = self._engine(tmp_path)
         cold = first.verify_class(linked_list)
         assert first.portfolio.statistics.cache_hits_disk == 0
@@ -265,10 +337,7 @@ class TestEngineWiring:
             (o.sequent.label, o.proved, o.prover)
             for m in warm.methods for o in m.outcomes
         ]
-        warm_hits = [
-            o.dispatch.cache_origin
-            for m in warm.methods for o in m.outcomes
-        ]
+        warm_hits = [o.dispatch.cache_origin for m in warm.methods for o in m.outcomes]
         assert set(warm_hits) == {"disk"}
 
     def test_no_persist_is_read_only(self, tmp_path, linked_list):

@@ -177,3 +177,11 @@ def test_bench_table1_smoke_mode_json(tmp_path, capsys):
     )
     assert record["wall_seconds"] > 0
     assert record["counters"]["sequents_proved"] >= dispatch["sequents_total"]
+    # The adaptive plan rides along: one entry per class, each naming the
+    # cost-model rung that priced it (a cold CI run is all "static").
+    plan = {entry["name"]: entry for entry in record["schedule_plan"]}
+    assert set(plan) == set(bench_table1.SMOKE_STRUCTURES)
+    assert all(
+        entry["hint_source"] in ("measured", "profile", "static", "default")
+        for entry in plan.values()
+    )

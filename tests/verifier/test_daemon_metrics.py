@@ -1,0 +1,181 @@
+"""The daemon's ``metrics`` op (protocol v3) and the CLI around it.
+
+Three layers:
+
+* :meth:`VerifierDaemon.handle` directly, for the op's semantics (cost
+  model, schedule plan, cache provenance) without socket plumbing;
+* a live unix-socket daemon whose engine dispatches to a real worker
+  session (``serve_session`` on an in-process thread through a real
+  registry + handshake), for the acceptance criterion: ``metrics``
+  against a live daemon returns per-worker latency and per-class costs;
+* ``jahob-py metrics --connect`` end to end, printing
+  :func:`~repro.verifier.report.format_metrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.verifier.cli import main
+from repro.verifier.costmodel import HINT_MEASURED, HINT_STATIC
+from repro.verifier.daemon import (
+    PROTOCOL_VERSION,
+    DaemonClient,
+    DaemonError,
+    VerifierDaemon,
+)
+from repro.verifier.wire import LineChannel, connect_address, handshake_connect
+from repro.verifier.worker import serve_session
+
+TIMEOUT_SCALE = 0.4
+SECRET = b"daemon-metrics-test-secret"
+
+
+def test_protocol_version_is_3():
+    # The metrics op is a protocol v3 addition; ping must say so.
+    assert PROTOCOL_VERSION == 3
+
+
+class InThreadWorker(threading.Thread):
+    """A *real* worker session (``serve_session``) on a thread, registered
+    with a daemon's worker registry -- full protocol, no subprocess cost."""
+
+    def __init__(self, registry_address: str) -> None:
+        super().__init__(daemon=True, name="in-thread-worker")
+        sock = connect_address(registry_address, timeout=5.0)
+        self.channel = LineChannel(sock)
+        handshake_connect(self.channel, SECRET, role="worker")
+        sock.settimeout(None)
+        self.start()
+
+    def run(self) -> None:
+        serve_session(self.channel)
+
+
+class TestHandle:
+    @pytest.fixture()
+    def daemon(self, tmp_path):
+        instance = VerifierDaemon(
+            tmp_path / "jahob.sock",
+            jobs=1,
+            cache_dir=tmp_path / "cache",
+            timeout_scale=TIMEOUT_SCALE,
+        )
+        yield instance
+        instance.engine.close()
+
+    def test_metrics_before_any_work(self, daemon):
+        response = daemon.handle({"op": "metrics"})
+        assert response["ok"]
+        assert response["protocol"] == PROTOCOL_VERSION
+        assert response["cost_model"]["classes"] == {}
+        assert response["schedule"] is None
+        assert response["workers"] == []
+        assert response["persistent_cache"]["status"] == "cold:missing"
+
+    def test_metrics_after_verify_and_suite(self, daemon):
+        assert daemon.handle({"op": "verify", "name": "Array List"})["ok"]
+        assert daemon.handle(
+            {"op": "suite", "names": ["Array List", "Cursor List"]}
+        )["ok"]
+        response = daemon.handle({"op": "metrics"})
+        assert response["ok"]
+        # Per-class measured costs from the live observations.
+        classes = response["cost_model"]["classes"]
+        assert set(classes) == {"Array List", "Cursor List"}
+        assert all(entry["wall"] > 0 for entry in classes.values())
+        assert response["cost_model"]["sequent_timings"] > 0
+        # Cache-hit provenance counters.
+        counters = response["counters"]
+        assert counters["proof_cache_hits_memory"] > 0
+        assert counters["proof_cache_misses"] > 0
+        # The schedule plan of the suite run, with hint sources: Array
+        # List was measured by the preceding verify, Cursor List was not.
+        schedule = response["schedule"]
+        assert schedule["jobs"] == 1
+        by_name = {entry["class"]: entry for entry in schedule["classes"]}
+        assert by_name["Array List"]["source"] == HINT_MEASURED
+        assert by_name["Cursor List"]["source"] == HINT_STATIC
+        assert schedule["order"]
+
+    def test_metrics_is_not_engine_gated(self, daemon):
+        # A busy engine must not block metrics: nowait metrics succeeds
+        # while the engine lock is held.
+        assert daemon._engine_lock.acquire()
+        try:
+            response = daemon.handle({"op": "metrics", "nowait": True})
+            assert response["ok"]
+        finally:
+            daemon._engine_lock.release()
+
+
+class TestLiveDaemonWithRemoteWorker:
+    @pytest.fixture()
+    def served(self, tmp_path):
+        instance = VerifierDaemon(
+            tmp_path / "jahob.sock",
+            cache_dir=tmp_path / "cache",
+            timeout_scale=TIMEOUT_SCALE,
+            secret=SECRET,
+            worker_listen="127.0.0.1:0",
+        )
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        client = DaemonClient(instance.socket_path)
+        deadline = time.monotonic() + 5.0
+        while True:
+            try:
+                client.ping()
+                break
+            except DaemonError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.02)
+        worker = InThreadWorker(instance.registry.address)
+        yield instance, client
+        instance.stop()
+        thread.join(timeout=10.0)
+        instance.close()
+        worker.join(timeout=5.0)
+
+    def test_metrics_returns_per_worker_latency_and_class_costs(self, served):
+        """The acceptance criterion, over a real socket with a real
+        worker session carrying the prover phase."""
+        instance, client = served
+        verify = client.request({"op": "verify", "name": "Array List"})
+        assert verify["ok"] and verify["exit"] == 0
+
+        response = client.request({"op": "metrics"})
+        assert response["ok"] and response["protocol"] == PROTOCOL_VERSION
+        # Per-class measured cost data...
+        classes = response["cost_model"]["classes"]
+        assert classes["Array List"]["wall"] > 0
+        assert classes["Array List"]["sequents"] > 0
+        # ...and per-worker latency data from the remote dispatch.
+        [worker_entry] = response["workers"]
+        assert worker_entry["origin"] == "registry"
+        assert worker_entry["latency"]["count"] > 0
+        assert worker_entry["ewma_task_wall"] > 0
+        assert sum(count for _, count in worker_entry["latency"]["buckets"]) == (
+            worker_entry["latency"]["count"]
+        )
+
+    def test_cli_metrics_connect_prints_the_report(self, served, capsys):
+        instance, client = served
+        assert client.request({"op": "verify", "name": "Array List"})["ok"]
+        exit_code = main(["--connect", str(instance.socket_path), "metrics"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert f"Daemon metrics (protocol {PROTOCOL_VERSION})" in out
+        assert "Measured class costs" in out
+        assert "Array List" in out
+        assert "Remote workers" in out
+        assert "registry" in out
+
+
+def test_cli_metrics_requires_connect(capsys):
+    assert main(["metrics"]) == 2
+    assert "requires --connect" in capsys.readouterr().err

@@ -1,0 +1,318 @@
+"""Heterogeneous batching and pool-robustness regressions (PR 5).
+
+These tests drive :class:`~repro.verifier.remote.RemoteWorkerPool` with
+*scripted* fake workers -- in-process threads that speak the real worker
+protocol (TCP + handshake + newline-JSON) through a real
+:class:`~repro.verifier.remote.WorkerRegistry` -- so batch windows, task
+errors and mid-run registration can be choreographed exactly, which real
+``jahob-py worker`` subprocesses cannot guarantee.
+
+Covered satellites/regressions:
+
+* mid-run worker adoption used to be event-gated -- a newcomer sat idle
+  until an existing worker answered or died; the bounded-timeout poll
+  must put it to work while every live worker is mid-long-task;
+* the ``error`` branch used to raise without closing the surviving
+  workers' channels, leaking sockets and reader threads;
+* per-worker in-flight windows scale with the EWMA of worker-reported
+  per-task wall time, between 1 and ``batch_size``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.provers.dispatch import PortfolioSpec
+from repro.verifier.remote import (
+    RemoteWorkerError,
+    RemoteWorkerPool,
+    WorkerConnection,
+    WorkerRegistry,
+)
+from repro.verifier.wire import (
+    LineChannel,
+    WireError,
+    connect_address,
+    encode_payload,
+    handshake_connect,
+)
+
+SECRET = b"batching-test-secret"
+SPEC = PortfolioSpec((("smt", 1.0),))
+
+
+class FakeWorker(threading.Thread):
+    """A scripted worker-protocol peer, registered through the registry.
+
+    ``delay`` sleeps before each answer (synthetic slowness); ``hold``
+    is an optional event each answer waits on first (a "worker deep in a
+    long prover task"); ``error_on`` answers that task index with an
+    ``error`` message instead of a result.
+    """
+
+    def __init__(
+        self,
+        registry_address: str,
+        pid: int,
+        name: str,
+        delay: float = 0.0,
+        hold: threading.Event | None = None,
+        error_on: int | None = None,
+    ) -> None:
+        super().__init__(daemon=True, name=f"fake-worker-{name}")
+        self.delay = delay
+        self.hold = hold
+        self.error_on = error_on
+        self.received: list[int] = []
+        self.answered: list[int] = []
+        self.disconnected = threading.Event()
+        sock = connect_address(registry_address, timeout=5.0)
+        self.channel = LineChannel(sock)
+        handshake_connect(self.channel, SECRET, role="worker")
+        sock.settimeout(None)
+        self.channel.send({"op": "hello", "pid": pid, "host": name})
+        self.start()
+
+    def run(self) -> None:
+        while True:
+            try:
+                message = self.channel.recv()
+            except WireError:
+                self.disconnected.set()
+                return
+            if message is None or message.get("op") == "bye":
+                self.disconnected.set()
+                return
+            if message.get("op") != "batch":
+                continue
+            for index, _payload in message.get("tasks", []):
+                self.received.append(index)
+                if index == self.error_on:
+                    self.channel.send(
+                        {"op": "error", "index": index, "error": "scripted boom"}
+                    )
+                    continue
+                if self.hold is not None:
+                    self.hold.wait()
+                if self.delay:
+                    time.sleep(self.delay)
+                try:
+                    self.channel.send(
+                        {
+                            "op": "result",
+                            "index": index,
+                            "wall": self.delay,
+                            "payload": encode_payload(("verdict", index)),
+                        }
+                    )
+                except WireError:
+                    self.disconnected.set()
+                    return
+                self.answered.append(index)
+
+
+@pytest.fixture()
+def registry():
+    instance = WorkerRegistry("127.0.0.1:0", SECRET)
+    yield instance
+    instance.close()
+
+
+def wait_until(predicate, timeout: float = 10.0, message: str = "condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, f"timed out waiting for {message}"
+        time.sleep(0.01)
+
+
+class DummyChannel:
+    def send(self, message):
+        pass
+
+    def close(self):
+        pass
+
+
+def connection(name: str, pid: int = 1) -> WorkerConnection:
+    return WorkerConnection(
+        DummyChannel(), {"pid": pid, "host": name}, address=None, origin="test"
+    )
+
+
+class TestWindows:
+    def test_unmeasured_workers_get_the_full_window(self, registry):
+        pool = RemoteWorkerPool(SPEC, registry=registry, secret=SECRET, batch_size=4)
+        fast, slow = connection("fast"), connection("slow")
+        assert pool._window(fast, [fast, slow]) == 4
+
+    def test_windows_scale_with_relative_task_wall(self, registry):
+        pool = RemoteWorkerPool(SPEC, registry=registry, secret=SECRET, batch_size=4)
+        fast, mid, slow = connection("fast"), connection("mid"), connection("slow")
+        for _ in range(8):
+            fast.observe_answer(0.05, 0.05)
+            mid.observe_answer(0.1, 0.1)
+            slow.observe_answer(0.4, 0.4)
+        peers = [fast, mid, slow]
+        assert pool._window(fast, peers) == 4
+        assert pool._window(mid, peers) == 2
+        assert pool._window(slow, peers) == 1
+
+    def test_lone_worker_keeps_the_full_window_however_slow(self, registry):
+        pool = RemoteWorkerPool(SPEC, registry=registry, secret=SECRET, batch_size=4)
+        slow = connection("slow")
+        for _ in range(8):
+            slow.observe_answer(5.0, 5.0)
+        assert pool._window(slow, [slow]) == 4
+
+    def test_ewma_tracks_recent_answers(self):
+        worker = connection("w")
+        worker.observe_answer(1.0, 1.0)
+        assert worker.ewma_task_wall == 1.0
+        for _ in range(30):
+            worker.observe_answer(0.1, 0.1)
+        assert worker.ewma_task_wall < 0.11
+        # The sojourn side feeds the histogram only.
+        assert worker.latency.count == 31
+
+
+class TestHeterogeneousDispatch:
+    def test_slow_worker_stops_hoarding_after_calibration(self, registry):
+        """A slow and a fast worker share 24 tasks: once the EWMA has
+        calibrated, the slow worker's window shrinks to 1 and the fast
+        worker carries the bulk of the queue."""
+        pool = RemoteWorkerPool(SPEC, registry=registry, secret=SECRET, batch_size=4)
+        slow = FakeWorker(registry.address, pid=1, name="slow", delay=0.25)
+        fast = FakeWorker(registry.address, pid=2, name="fast", delay=0.005)
+        items = [(i, f"task-{i}") for i in range(24)]
+        results = dict()
+        for index, label, _wall, payload in pool.run(items):
+            results[index] = (label, payload)
+        assert set(results) == set(range(24))
+        assert all(
+            payload == ("verdict", index)
+            for index, (_, payload) in results.items()
+        )
+        by_label = {w.label: w for w in pool._workers}
+        slow_conn = by_label["slow/1"]
+        fast_conn = by_label["fast/2"]
+        # Latency metrics were recorded for every answer...
+        assert slow_conn.latency.count == len(slow.answered) > 0
+        assert fast_conn.latency.count == len(fast.answered) > 0
+        # ...and the calibrated windows diverge: the slow worker is down
+        # to single-task batches, the fast one keeps the full window.
+        assert slow_conn.ewma_task_wall > fast_conn.ewma_task_wall
+        assert pool._window(slow_conn, pool._workers) == 1
+        assert pool._window(fast_conn, pool._workers) == 4
+        # The fast worker did most of the work.
+        assert len(fast.answered) > len(slow.answered)
+        pool.close()
+
+    def test_worker_metrics_are_json_ready(self, registry):
+        import json
+
+        pool = RemoteWorkerPool(SPEC, registry=registry, secret=SECRET, batch_size=2)
+        # A nonzero reported wall: the EWMA tracks worker-reported task
+        # time, and a zero-cost answer carries no throughput signal.
+        worker = FakeWorker(registry.address, pid=7, name="metrics", delay=0.01)
+        for _index, _label, _wall, _payload in pool.run([(0, "t"), (1, "u")]):
+            pass
+        payload = json.loads(json.dumps(pool.worker_metrics()))
+        assert len(payload) == 1
+        assert payload[0]["worker"] == "metrics/7"
+        assert payload[0]["latency"]["count"] == 2
+        assert payload[0]["ewma_task_wall"] > 0
+        pool.close()
+        assert worker.disconnected.wait(5.0)
+
+
+class TestMidRunAdoption:
+    def test_newcomer_is_adopted_while_workers_are_mid_task(self, registry):
+        """Regression (satellite): adoption used to be event-gated.  With
+        every live worker stuck in a long task (no events coming), a
+        newly registered worker must still receive the pending tasks."""
+        pool = RemoteWorkerPool(SPEC, registry=registry, secret=SECRET, batch_size=2)
+        hold = threading.Event()
+        stuck = FakeWorker(registry.address, pid=1, name="stuck", hold=hold)
+        items = [(i, f"task-{i}") for i in range(4)]
+        results: dict[int, str] = {}
+        finished = threading.Event()
+
+        def consume():
+            for index, label, _wall, _payload in pool.run(items):
+                results[index] = label
+            finished.set()
+
+        thread = threading.Thread(target=consume, daemon=True)
+        thread.start()
+        # The stuck worker received its window (it blocks inside the
+        # first task, so only that one is ticked off) and holds it; two
+        # tasks stay pending.
+        wait_until(lambda: len(stuck.received) >= 1, message="initial batch")
+        assert len(pool._workers) == 1 and len(pool._workers[0].inflight) == 2
+        newcomer = FakeWorker(registry.address, pid=2, name="speedy")
+        # Pre-fix this deadlocks: no event ever arrives, so the newcomer
+        # is never adopted and the pending tasks never dispatch.
+        wait_until(
+            lambda: len(newcomer.answered) == 2,
+            message="newcomer answering the pending tasks",
+        )
+        assert not finished.is_set()  # the stuck worker still holds two
+        hold.set()
+        assert finished.wait(10.0)
+        assert set(results) == {0, 1, 2, 3}
+        assert sorted(label for label in results.values()).count("speedy/2") == 2
+        pool.close()
+        thread.join(timeout=5.0)
+
+    def test_between_run_registrations_still_adopted_up_front(self, registry):
+        """The pre-existing path: workers registered before the run are
+        all attached before the first dispatch."""
+        pool = RemoteWorkerPool(SPEC, registry=registry, secret=SECRET, batch_size=1)
+        FakeWorker(registry.address, pid=1, name="a")
+        FakeWorker(registry.address, pid=2, name="b")
+        # Give the registry's accept loop time to finish both handshakes.
+        wait_until(lambda: registry._ready.qsize() == 2, message="registrations")
+        seen = set()
+        for index, label, _wall, _payload in pool.run([(i, "t") for i in range(8)]):
+            seen.add(label)
+        assert seen == {"a/1", "b/2"}
+        pool.close()
+
+
+class TestErrorCleanup:
+    def test_task_error_closes_every_worker_connection(self, registry):
+        """Regression (satellite): the error branch used to raise without
+        closing the surviving workers, leaking sockets/reader threads."""
+        pool = RemoteWorkerPool(SPEC, registry=registry, secret=SECRET, batch_size=2)
+        good = FakeWorker(registry.address, pid=1, name="good", delay=0.05)
+        bad = FakeWorker(registry.address, pid=2, name="bad", error_on=2)
+        wait_until(lambda: registry._ready.qsize() == 2, message="registrations")
+        with pytest.raises(RemoteWorkerError, match="scripted boom"):
+            for _ in pool.run([(i, f"task-{i}") for i in range(4)]):
+                pass
+        # The pool dropped every connection before raising...
+        assert pool._workers == []
+        assert not pool.started
+        # ...and both peers observed their connection closing.
+        assert good.disconnected.wait(5.0), "surviving worker leaked"
+        assert bad.disconnected.wait(5.0)
+
+    def test_pool_recovers_after_an_error_run(self, registry):
+        """A closed-on-error pool serves the next run with fresh workers
+        (the between-run re-dial/adoption path)."""
+        pool = RemoteWorkerPool(SPEC, registry=registry, secret=SECRET, batch_size=2)
+        FakeWorker(registry.address, pid=1, name="bad", error_on=0)
+        with pytest.raises(RemoteWorkerError):
+            for _ in pool.run([(0, "t")]):
+                pass
+        FakeWorker(registry.address, pid=2, name="fresh")
+        answered = dict(
+            (index, label)
+            for index, label, _wall, _payload in pool.run([(0, "t"), (1, "u")])
+        )
+        assert set(answered) == {0, 1}
+        assert set(answered.values()) == {"fresh/2"}
+        pool.close()
