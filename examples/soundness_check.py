@@ -29,6 +29,28 @@ from repro.proofs.constructs import (
     Witness,
 )
 from repro.proofs.soundness import SoundnessChecker
+from repro.suite.common import StructureBuilder
+
+
+def build_soundness_demo():
+    """A tiny class using proof constructs, so ``jahob-py verify
+    examples/soundness_check.py`` has a model to ingest (the wlp-level
+    soundness sweep below stays the example's main act)."""
+    s = StructureBuilder("SoundnessDemo")
+    s.concrete("x", "int")
+    s.invariant("NonNegative", "0 <= x")
+
+    m = s.method(
+        "bound",
+        params="k: int",
+        requires="x <= k",
+        modifies="x",
+        ensures="x <= k + 1",
+    )
+    m.note("Step", "x <= k + 1")
+    m.assign("x", "x")
+    m.done()
+    return s.build()
 
 
 def main() -> None:

@@ -1,0 +1,140 @@
+"""File ingestion: load class models from a standalone Python file.
+
+``jahob-py verify FILE`` (and the daemon's ``verify_file`` op) accept an
+ordinary Python file and verify every class model it exports, which turns
+``examples/`` -- and any user-written or generated program -- into live
+verifier inputs rather than ad-hoc scripts.
+
+A file can export models three ways, checked in this order:
+
+1. a ``MODEL`` attribute (one :class:`~repro.frontend.ast.ClassModel`) or
+   a ``MODELS`` attribute (an iterable of them) -- the explicit spelling,
+   and the one generated regression files use;
+2. module-level :class:`~repro.frontend.ast.ClassModel` instances bound
+   to any name;
+3. zero-argument module-level callables whose name starts with ``build``
+   returning a :class:`~repro.frontend.ast.ClassModel` -- the idiom every
+   ``examples/`` file already follows.
+
+Discovery is cumulative across 2 and 3 when no explicit ``MODEL(S)`` is
+given, models are deduplicated by class name (first wins), and the
+result order is deterministic (definition order for attributes, name
+order for builders), so repeated loads of the same file verify the same
+classes in the same order.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import inspect
+import sys
+from pathlib import Path
+
+from .ast import ClassModel
+
+__all__ = ["ProgramLoadError", "load_class_models"]
+
+
+class ProgramLoadError(Exception):
+    """The file could not be loaded or exports no class models."""
+
+
+def _import_file(path: Path):
+    """Import ``path`` as an anonymous module (not registered by name,
+    so loading ``a/model.py`` and ``b/model.py`` never collide)."""
+    spec = importlib.util.spec_from_file_location(
+        f"_jahob_program_{abs(hash(str(path)))}", path
+    )
+    if spec is None or spec.loader is None:
+        raise ProgramLoadError(f"cannot import {path}")
+    module = importlib.util.module_from_spec(spec)
+    # Visible under its anonymous name while executing so dataclasses /
+    # pickling inside the file resolve their defining module.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    except ProgramLoadError:
+        raise
+    except Exception as exc:
+        raise ProgramLoadError(f"error executing {path}: {exc}") from exc
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+def _explicit_models(module, path: Path) -> list[ClassModel] | None:
+    """The ``MODEL`` / ``MODELS`` exports, or None when absent."""
+    found: list[ClassModel] = []
+    if hasattr(module, "MODEL"):
+        model = module.MODEL
+        if not isinstance(model, ClassModel):
+            raise ProgramLoadError(
+                f"{path}: MODEL must be a ClassModel, got {type(model).__name__}"
+            )
+        found.append(model)
+    if hasattr(module, "MODELS"):
+        models = list(module.MODELS)
+        bad = [m for m in models if not isinstance(m, ClassModel)]
+        if bad:
+            raise ProgramLoadError(
+                f"{path}: MODELS must contain only ClassModels, "
+                f"got {type(bad[0]).__name__}"
+            )
+        found.extend(models)
+    return found if found else None
+
+
+def _discovered_models(module, path: Path) -> list[ClassModel]:
+    """Module-level ClassModel bindings plus zero-arg ``build*`` callables."""
+    found = [value for value in vars(module).values() if isinstance(value, ClassModel)]
+    builders = sorted(
+        (name, value)
+        for name, value in vars(module).items()
+        if name.startswith("build") and callable(value)
+    )
+    for name, builder in builders:
+        try:
+            signature = inspect.signature(builder)
+        except (TypeError, ValueError):
+            continue
+        required = [
+            p
+            for p in signature.parameters.values()
+            if p.default is p.empty
+            and p.kind not in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+        ]
+        if required:
+            continue
+        try:
+            built = builder()
+        except Exception as exc:
+            raise ProgramLoadError(f"{path}: {name}() raised: {exc}") from exc
+        if isinstance(built, ClassModel):
+            found.append(built)
+    return found
+
+
+def load_class_models(path: str | Path) -> list[ClassModel]:
+    """All class models exported by the Python file at ``path``.
+
+    Raises :class:`ProgramLoadError` if the file is missing, fails to
+    execute, or exports no models.  The result is deduplicated by class
+    name and deterministically ordered.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise ProgramLoadError(f"no such file: {path}")
+    module = _import_file(path)
+    models = _explicit_models(module, path)
+    if models is None:
+        models = _discovered_models(module, path)
+    unique: dict[str, ClassModel] = {}
+    for model in models:
+        unique.setdefault(model.name, model)
+    if not unique:
+        raise ProgramLoadError(
+            f"{path} exports no class models (define MODEL/MODELS, bind a "
+            "ClassModel at module level, or provide a zero-argument build* "
+            "function returning one)"
+        )
+    return list(unique.values())

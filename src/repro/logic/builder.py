@@ -184,7 +184,7 @@ def Minus(left: Term, right: Term) -> Term:
 
 
 def Neg(term: Term) -> Term:
-    """Integer negation."""
+    """Integer negation (negating a literal folds to the negative literal)."""
     _require_int(term, "neg")
     return App("neg", (term,), INT)
 

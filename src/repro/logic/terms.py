@@ -405,6 +405,13 @@ class App(Term):
 
     def __new__(cls, op: str, args, sort: Sort = BOOL) -> "App":
         args = tuple(args)
+        # Normal form: ``neg`` of a literal *is* the negative literal.
+        # ``IntLit(-n)`` and ``neg(IntLit(n))`` would both print as ``-n``,
+        # so folding here (the single choke point every construction path
+        # shares -- builders, substitution, rebuild) keeps the ASCII
+        # printer/parser pair a bijection on interned terms.
+        if op == "neg" and len(args) == 1 and type(args[0]) is IntLit:
+            return IntLit(-args[0].value)
         key = (op, args, sort)
         cached = _APP_POOL.get(key)
         if cached is not None:

@@ -15,6 +15,9 @@ from .linked_structures import (
 __all__ = [
     "all_structures",
     "structure_by_name",
+    "register_structure",
+    "registered_structures",
+    "unregister_structure",
     "STRUCTURE_ORDER",
     "CLASS_COST_HINTS",
     "DEFAULT_COST_HINT",
@@ -76,7 +79,11 @@ def cost_hint(name: str) -> float:
     ask :meth:`repro.verifier.costmodel.CostModel.class_cost`, which
     prefers measured profiles and reports which source answered.
     """
-    return CLASS_COST_HINTS.get(name, DEFAULT_COST_HINT)
+    if name in CLASS_COST_HINTS:
+        return CLASS_COST_HINTS[name]
+    if name in _REGISTERED_HINTS:
+        return _REGISTERED_HINTS[name]
+    return DEFAULT_COST_HINT
 
 
 @lru_cache(maxsize=1)
@@ -99,6 +106,73 @@ def _catalogue() -> dict[str, ClassModel]:
     return {cls.name: cls for cls in structures}
 
 
+#: Classes registered at runtime (generated programs, ingested files),
+#: in registration order.  They resolve through :func:`structure_by_name`
+#: exactly like the paper catalogue -- which is what makes a generated
+#: class first-class for the scheduler, the caches, the cost model, the
+#: daemon's ``verify`` op and the remote worker pools -- but they are
+#: deliberately *not* part of :func:`all_structures`: Table 1 is the
+#: paper's table, and a registered class must never punch holes in it.
+_REGISTERED: dict[str, ClassModel] = {}
+_REGISTERED_HINTS: dict[str, float] = {}
+
+
+def _normalize(name: str) -> str:
+    return name.lower().replace(" ", "")
+
+
+def register_structure(
+    cls: ClassModel,
+    cost_hint: float | None = None,
+    replace: bool = False,
+) -> ClassModel:
+    """Register ``cls`` so :func:`structure_by_name` resolves it.
+
+    ``cost_hint`` optionally seeds the *static* rung of the scheduling
+    cost chain for the class (without it, registered classes price at
+    :data:`DEFAULT_COST_HINT` until a warm store has measured them).
+    Collisions -- with the paper catalogue or an earlier registration --
+    raise unless ``replace`` is set; the paper catalogue itself can never
+    be replaced.
+    """
+    key = _normalize(cls.name)
+    if any(_normalize(name) == key for name in STRUCTURE_ORDER):
+        raise ValueError(f"{cls.name!r} collides with a paper catalogue class")
+    if key in {_normalize(name) for name in _REGISTERED} and not replace:
+        raise ValueError(f"{cls.name!r} is already registered")
+    _REGISTERED.pop(
+        next((n for n in _REGISTERED if _normalize(n) == key), cls.name), None
+    )
+    _REGISTERED[cls.name] = cls
+    if cost_hint is not None:
+        _REGISTERED_HINTS[cls.name] = float(cost_hint)
+    return cls
+
+
+def registered_structures() -> list[ClassModel]:
+    """Runtime-registered classes, in registration order."""
+    return list(_REGISTERED.values())
+
+
+def unregister_structure(name: str | None = None) -> None:
+    """Remove one registered class (or, with ``name=None``, all of them).
+
+    Test hygiene: suites that register generated corpora drop them again
+    so catalogue state never leaks between tests.
+    """
+    if name is None:
+        _REGISTERED.clear()
+        _REGISTERED_HINTS.clear()
+        return
+    key = _normalize(name)
+    for registered in list(_REGISTERED):
+        if _normalize(registered) == key:
+            del _REGISTERED[registered]
+            _REGISTERED_HINTS.pop(registered, None)
+            return
+    raise KeyError(f"no registered structure {name!r}")
+
+
 def all_structures() -> list[ClassModel]:
     """All benchmark data structures, in the paper's table order."""
     catalogue = _catalogue()
@@ -106,11 +180,16 @@ def all_structures() -> list[ClassModel]:
 
 
 def structure_by_name(name: str) -> ClassModel:
-    """Look up a benchmark data structure by (case-insensitive) name."""
+    """Look up a data structure -- paper catalogue first, then classes
+    registered at runtime (:func:`register_structure`) -- by
+    (case-insensitive, space-insensitive) name."""
     catalogue = _catalogue()
-    for key, value in catalogue.items():
-        if key.lower().replace(" ", "") == name.lower().replace(" ", ""):
-            return value
+    key = _normalize(name)
+    for source in (catalogue, _REGISTERED):
+        for candidate, value in source.items():
+            if _normalize(candidate) == key:
+                return value
     raise KeyError(
-        f"unknown data structure {name!r}; available: {', '.join(catalogue)}"
+        f"unknown data structure {name!r}; available: "
+        f"{', '.join([*catalogue, *_REGISTERED])}"
     )

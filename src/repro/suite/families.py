@@ -1,0 +1,320 @@
+"""Program families for the generated catalogue.
+
+Two :class:`~repro.frontend.ast.ClassModel` generators, each producing
+well-formed annotated modules *by construction* (every requires/ensures/
+invariant is emitted together with a body that maintains it, so a
+generated class is expected to verify fully):
+
+* :func:`build_arith_class` -- **arithmetic-heavy**: integer counters
+  with lower/upper-bound invariants, loops with invariants and
+  conditional updates; the sequents lean on the LIA prover.
+* :func:`build_struct_class` -- **structure-heavy**: an ``obj``-typed
+  head pointer, map-valued node fields (``next: obj => obj``,
+  ``val: obj => int``), a ghost node set and null checks; the sequents
+  lean on EUF / function-update / set reasoning.
+
+Both are driven by a caller-supplied :class:`random.Random`, so a class
+is a pure function of ``(family, seed, size)`` -- the property the
+differential fuzz harness (``tests/gensuite``) relies on to reproduce
+and shrink failures from nothing but a printed seed.
+
+Generation is template-based: each family owns a pool of method
+templates; a class draws ``size`` of them (with replacement, under
+per-template caps) and every template randomizes its own constants.
+Templates never call each other (no ``Call`` statements), so any subset
+of a generated class's methods is itself a well-formed class -- which is
+what makes shrinking by dropping methods sound
+(:func:`repro.suite.generate.shrink_class`).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..frontend.ast import ClassModel
+from .common import StructureBuilder
+
+__all__ = ["build_arith_class", "build_struct_class"]
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic-heavy family
+# ---------------------------------------------------------------------------
+
+
+def _arith_reset(s: StructureBuilder, rng: random.Random, index: int) -> None:
+    m = s.method(
+        f"reset{index}",
+        modifies="count, total",
+        ensures="count = 0 & total = 0",
+    )
+    m.assign("count", "0")
+    m.assign("total", "0")
+    m.done()
+
+
+def _arith_bump(s: StructureBuilder, rng: random.Random, index: int) -> None:
+    m = s.method(
+        f"bump{index}",
+        params="k: int",
+        requires="0 <= k & count + k <= cap",
+        modifies="count, total",
+        ensures="count = old count + k & total = old total + k",
+    )
+    m.assign("count", "count + k")
+    m.assign("total", "total + k")
+    m.done()
+
+
+def _arith_dec(s: StructureBuilder, rng: random.Random, index: int) -> None:
+    step = rng.randint(1, 3)
+    m = s.method(
+        f"dec{index}",
+        requires=f"{step} <= count",
+        modifies="count",
+        ensures=f"count = old count - {step}",
+    )
+    m.assign("count", f"count - {step}")
+    m.done()
+
+
+def _arith_clamp(s: StructureBuilder, rng: random.Random, index: int) -> None:
+    step = rng.randint(1, 2)
+    m = s.method(
+        f"clamp{index}",
+        modifies="count",
+        ensures="count <= cap & old count <= count",
+    )
+    with m.if_(f"count + {step} <= cap"):
+        m.assign("count", f"count + {step}")
+    m.done()
+
+
+def _arith_scale(s: StructureBuilder, rng: random.Random, index: int) -> None:
+    factor = rng.randint(2, 4)
+    m = s.method(
+        f"scale{index}",
+        modifies="total",
+        ensures=f"total = old total * {factor}",
+    )
+    m.assign("total", f"total * {factor}")
+    m.done()
+
+
+def _arith_fill(s: StructureBuilder, rng: random.Random, index: int) -> None:
+    m = s.method(
+        f"fill{index}",
+        modifies="count",
+        ensures="count = cap",
+    )
+    with m.while_("count < cap", "0 <= count & count <= cap"):
+        m.assign("count", "count + 1")
+    m.done()
+
+
+def _arith_sum(s: StructureBuilder, rng: random.Random, index: int) -> None:
+    bound = rng.randint(2, 6)
+    m = s.method(
+        f"sum{index}",
+        params="n: int",
+        returns="int",
+        requires=f"0 <= n & n <= {bound}",
+        ensures="0 <= result",
+    )
+    m.local("i", "int")
+    m.local("acc", "int")
+    m.assign("i", "0")
+    m.assign("acc", "0")
+    with m.while_("i < n", "0 <= i & i <= n & 0 <= acc"):
+        m.assign("acc", "acc + i")
+        m.assign("i", "i + 1")
+    m.returns("acc")
+    m.done()
+
+
+def _arith_get(s: StructureBuilder, rng: random.Random, index: int) -> None:
+    m = s.method(
+        f"current{index}",
+        returns="int",
+        ensures="result = count & 0 <= result",
+    )
+    m.returns("count")
+    m.done()
+
+
+#: ``(template, cap)`` -- how many instances of each template one class
+#: may draw.  Loop templates are capped at one instance each: loops
+#: dominate a generated class's proving cost, and the corpus must stay
+#: tier-1 fast.
+_ARITH_TEMPLATES = (
+    (_arith_reset, 1),
+    (_arith_bump, 2),
+    (_arith_dec, 2),
+    (_arith_clamp, 2),
+    (_arith_scale, 2),
+    (_arith_fill, 1),
+    (_arith_sum, 1),
+    (_arith_get, 1),
+)
+
+
+def build_arith_class(name: str, rng: random.Random, size: int = 3) -> ClassModel:
+    """An arithmetic-heavy class with ``size`` generated methods."""
+    s = StructureBuilder(name)
+    s.concrete("count", "int")
+    s.concrete("cap", "int")
+    s.concrete("total", "int")
+    s.invariant("CapLower", "0 <= cap")
+    s.invariant("CountLower", "0 <= count")
+    s.invariant("CountUpper", "count <= cap")
+    s.invariant("TotalLower", "0 <= total")
+    _draw_templates(s, rng, size, _ARITH_TEMPLATES)
+    return s.build()
+
+
+# ---------------------------------------------------------------------------
+# Structure-heavy family
+# ---------------------------------------------------------------------------
+
+
+def _struct_clear(s: StructureBuilder, rng: random.Random, index: int) -> None:
+    m = s.method(
+        f"clear{index}",
+        modifies="first, nodes, size",
+        ensures="first = null & size = 0",
+    )
+    m.assign("first", "null")
+    m.ghost_assign("nodes", "{}")
+    m.assign("size", "0")
+    m.done()
+
+
+def _struct_insert(s: StructureBuilder, rng: random.Random, index: int) -> None:
+    m = s.method(
+        f"insert{index}",
+        params="n: obj",
+        requires="n ~= null & n ~in nodes",
+        modifies="first, next, nodes, size",
+        ensures="n in nodes & first = n & size = old size + 1",
+    )
+    m.field_write("next", "n", "first")
+    m.assign("first", "n")
+    m.ghost_assign("nodes", "nodes Un {n}")
+    m.assign("size", "size + 1")
+    m.done()
+
+
+def _struct_tag(s: StructureBuilder, rng: random.Random, index: int) -> None:
+    m = s.method(
+        f"tag{index}",
+        params="n: obj, k: int",
+        requires="n in nodes & 0 <= k",
+        modifies="val",
+        ensures="val[n] = k",
+    )
+    m.field_write("val", "n", "k")
+    m.done()
+
+
+def _struct_relink(s: StructureBuilder, rng: random.Random, index: int) -> None:
+    m = s.method(
+        f"relink{index}",
+        params="a: obj, b: obj",
+        requires="a in nodes & b in nodes",
+        modifies="next",
+        ensures="next[a] = b",
+    )
+    m.field_write("next", "a", "b")
+    m.done()
+
+
+def _struct_drop(s: StructureBuilder, rng: random.Random, index: int) -> None:
+    m = s.method(
+        f"drop{index}",
+        modifies="first, nodes, size",
+        ensures="first = null",
+    )
+    with m.if_("first ~= null & 0 < size"):
+        m.ghost_assign("nodes", "nodes \\ {first}")
+        m.assign("first", "null")
+        m.assign("size", "size - 1")
+    with m.else_():
+        m.assign("first", "null")
+    m.done()
+
+
+def _struct_adopt(s: StructureBuilder, rng: random.Random, index: int) -> None:
+    m = s.method(
+        f"adopt{index}",
+        params="n: obj",
+        requires="n ~= null",
+        modifies="nodes, size",
+        ensures="n in nodes",
+    )
+    with m.if_("n ~in nodes"):
+        m.ghost_assign("nodes", "nodes Un {n}")
+        m.assign("size", "size + 1")
+    m.done()
+
+
+def _struct_head(s: StructureBuilder, rng: random.Random, index: int) -> None:
+    m = s.method(
+        f"head{index}",
+        returns="obj",
+        ensures="result = first & (first ~= null --> result in nodes)",
+    )
+    m.returns("first")
+    m.done()
+
+
+_STRUCT_TEMPLATES = (
+    (_struct_clear, 1),
+    (_struct_insert, 2),
+    (_struct_tag, 2),
+    (_struct_relink, 2),
+    (_struct_drop, 1),
+    (_struct_adopt, 2),
+    (_struct_head, 1),
+)
+
+
+def build_struct_class(name: str, rng: random.Random, size: int = 3) -> ClassModel:
+    """A structure-heavy class with ``size`` generated methods."""
+    s = StructureBuilder(name)
+    s.concrete("first", "obj")
+    s.concrete("next", "obj => obj")
+    s.concrete("val", "obj => int")
+    s.concrete("size", "int")
+    s.ghost("nodes", "obj set")
+    s.invariant("NullOut", "null ~in nodes")
+    s.invariant("FirstIn", "first ~= null --> first in nodes")
+    s.invariant("SizeLower", "0 <= size")
+    _draw_templates(s, rng, size, _STRUCT_TEMPLATES)
+    return s.build()
+
+
+# ---------------------------------------------------------------------------
+# Template drawing
+# ---------------------------------------------------------------------------
+
+
+def _draw_templates(
+    s: StructureBuilder,
+    rng: random.Random,
+    size: int,
+    pool: tuple,
+) -> None:
+    """Emit ``size`` methods drawn from ``pool`` (template, cap) entries.
+
+    Drawing is with replacement under the per-template cap; method names
+    carry the draw index so repeated templates never collide.  ``size``
+    is clamped to the pool's total capacity.
+    """
+    budget = {template: cap for template, cap in pool}
+    size = max(1, min(int(size), sum(budget.values())))
+    templates = [template for template, _ in pool]
+    for index in range(size):
+        open_templates = [t for t in templates if budget[t] > 0]
+        template = rng.choice(open_templates)
+        budget[template] -= 1
+        template(s, rng, index)

@@ -5,6 +5,10 @@ Subcommands::
     jahob-py list                 list the benchmark data structures
     jahob-py verify <name>        verify one data structure (add --no-proofs
                                   to strip the proof language constructs)
+    jahob-py verify <file.py>     verify every class model exported by a
+                                  standalone Python file (MODEL/MODELS,
+                                  module-level ClassModels, or zero-arg
+                                  build* functions; see repro.frontend.loader)
     jahob-py table1               regenerate Table 1 (suite-scheduled when
                                   --jobs > 1; see --schedule)
     jahob-py table2               regenerate Table 2 (slow: verifies twice)
@@ -31,6 +35,7 @@ or ``JAHOB_SECRET``.
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import sys
 
@@ -43,6 +48,7 @@ from .report import (
     format_table1,
     format_table2,
     format_verify,
+    format_verify_file,
     table1_rows,
     table2_rows,
 )
@@ -140,8 +146,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list benchmark data structures")
-    verify = subparsers.add_parser("verify", help="verify one data structure")
-    verify.add_argument("name", help="data structure name (see 'list')")
+    verify = subparsers.add_parser(
+        "verify",
+        help="verify one data structure, or every class model in a Python file",
+    )
+    verify.add_argument(
+        "name",
+        help="data structure name (see 'list') or a path to a Python file "
+        "exporting class models (anything ending in .py or containing a "
+        "path separator is treated as a file)",
+    )
     verify.add_argument(
         "--no-proofs",
         action="store_true",
@@ -256,6 +270,13 @@ def _non_default_flags(
     ]
 
 
+def _is_program_path(name: str) -> bool:
+    """Whether the ``verify`` operand names a file rather than a
+    catalogue class.  No catalogue class ends in ``.py`` or contains a
+    path separator, so the two namespaces cannot collide."""
+    return name.endswith(".py") or "/" in name or os.sep in name
+
+
 def _load_secret_arg(args: argparse.Namespace) -> bytes | None:
     """The shared secret from ``--secret-file`` / ``JAHOB_SECRET``; an
     unreadable file surfaces as ``OSError`` for the caller to report."""
@@ -286,6 +307,14 @@ def _run_connected(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
     client = DaemonClient(args.connect, secret=secret)
     if args.command == "list":
         request = {"op": "list"}
+    elif args.command == "verify" and _is_program_path(args.name):
+        # The daemon runs in its own working directory, so forward the
+        # absolute path (which also keeps the printed summary identical).
+        request = {
+            "op": "verify_file",
+            "path": os.path.abspath(args.name),
+            "strip": args.no_proofs,
+        }
     elif args.command == "verify":
         request = {"op": "verify", "name": args.name, "strip": args.no_proofs}
     elif args.command == "table1":
@@ -450,6 +479,22 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "verify":
+        if _is_program_path(args.name):
+            from ..frontend.loader import ProgramLoadError, load_class_models
+
+            try:
+                models = load_class_models(args.name)
+            except ProgramLoadError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            reports = [
+                engine.verify_class(model, strip_proofs=args.no_proofs)
+                for model in models
+            ]
+            print(format_verify_file(os.path.abspath(args.name), reports))
+            if args.perf:
+                _print_perf(engine)
+            return 0 if all(report.verified for report in reports) else 1
         cls = structure_by_name(args.name)
         report = engine.verify_class(cls, strip_proofs=args.no_proofs)
         print(format_verify(report))

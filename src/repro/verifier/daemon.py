@@ -28,6 +28,11 @@ Supported ``"op"`` values:
 ``verify``    ``{"name": ..., "strip": bool}`` -- one class; the
               ``output`` field is exactly what a local ``jahob-py
               verify`` prints, plus a structured per-sequent ``report``
+``verify_file``  ``{"path": ..., "strip": bool}`` -- load every class
+              model exported by the Python file at ``path``
+              (:mod:`repro.frontend.loader`) and verify each; ``output``
+              is exactly what a local ``jahob-py verify FILE`` prints,
+              plus a ``reports`` list
 ``suite``     ``{"names": [...]?}`` -- suite-scheduled run
               (:mod:`repro.verifier.scheduler`); full catalogue when
               ``names`` is omitted
@@ -42,7 +47,8 @@ Supported ``"op"`` values:
 Requests are served **concurrently**: every accepted connection gets its
 own thread, so ``ping`` / ``list`` / ``stats`` are answered immediately
 even while a multi-minute ``table1`` is in flight.  Ops that drive the
-engine (``verify`` / ``suite`` / ``table1`` / ``shutdown``) serialize on
+engine (``verify`` / ``verify_file`` / ``suite`` / ``table1`` /
+``shutdown``) serialize on
 one engine lock -- the portfolio's caches and counters are deliberately
 single-writer.  A request carrying ``"nowait": true`` refuses to queue:
 if the engine is busy it is answered at once with ``"ok": false`` and
@@ -71,7 +77,13 @@ from pathlib import Path
 from ..provers.dispatch import default_portfolio
 from ..suite.catalog import all_structures, structure_by_name
 from .engine import ClassReport, VerificationEngine
-from .report import format_suite, format_table1, format_verify, table1_rows
+from .report import (
+    format_suite,
+    format_table1,
+    format_verify,
+    format_verify_file,
+    table1_rows,
+)
 from .stats import performance_counters
 from .wire import (
     HandshakeError,
@@ -88,8 +100,8 @@ __all__ = ["PROTOCOL_VERSION", "DaemonError", "VerifierDaemon", "DaemonClient"]
 
 #: Bumped on incompatible protocol changes; ``ping`` reports it so clients
 #: can refuse to talk to a daemon from another era.  Version 3 added the
-#: ``metrics`` op.
-PROTOCOL_VERSION = 3
+#: ``metrics`` op; version 4 added ``verify_file``.
+PROTOCOL_VERSION = 4
 
 #: Hard cap on one request line; a unix-socket peer is trusted, but a
 #: corrupt client must not make the daemon buffer without bound.
@@ -104,7 +116,7 @@ _IO_TIMEOUT = 30.0
 
 #: Ops that drive the verification engine and therefore serialize on the
 #: daemon's engine lock; everything else is answered lock-free.
-_ENGINE_OPS = frozenset({"verify", "suite", "table1", "shutdown"})
+_ENGINE_OPS = frozenset({"verify", "verify_file", "suite", "table1", "shutdown"})
 
 
 class DaemonError(RuntimeError):
@@ -489,6 +501,27 @@ class VerifierDaemon:
             "output": format_verify(report),
             "exit": 0 if report.verified else 1,
             "report": _report_payload(report),
+        }
+
+    def _op_verify_file(self, request: dict) -> dict:
+        path = request.get("path")
+        if not isinstance(path, str):
+            return {"ok": False, "error": "verify_file needs a 'path' string"}
+        from ..frontend.loader import ProgramLoadError, load_class_models
+
+        try:
+            models = load_class_models(path)
+        except ProgramLoadError as exc:
+            return {"ok": False, "error": str(exc)}
+        strip = bool(request.get("strip", False))
+        reports = [
+            self.engine.verify_class(model, strip_proofs=strip)
+            for model in models
+        ]
+        return {
+            "output": format_verify_file(path, reports),
+            "exit": 0 if all(report.verified for report in reports) else 1,
+            "reports": [_report_payload(report) for report in reports],
         }
 
     def _suite_reports(self, request: dict) -> list[ClassReport]:

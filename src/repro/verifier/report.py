@@ -32,6 +32,7 @@ __all__ = [
     "format_parallel",
     "format_suite",
     "format_verify",
+    "format_verify_file",
     "format_metrics",
 ]
 
@@ -434,6 +435,20 @@ def format_verify(report: ClassReport) -> str:
         f"{report.elapsed:.1f}s"
     )
     return "\n".join(lines)
+
+
+def format_verify_file(path: str, reports: list[ClassReport]) -> str:
+    """Render a ``verify FILE`` run: every loaded class model in turn.
+
+    Shared by the CLI's local path and the daemon's ``verify_file`` op,
+    so a ``--connect`` run prints the same text a local one does (the
+    CLI forwards the absolute path to the daemon, so even the summary
+    line matches).
+    """
+    blocks = [format_verify(report) for report in reports]
+    verified = sum(1 for report in reports if report.verified)
+    blocks.append(f"{path}: {verified}/{len(reports)} class models verified")
+    return "\n\n".join(blocks)
 
 
 def format_table2(rows: list[Table2Row]) -> str:

@@ -1,0 +1,222 @@
+"""The differential / metamorphic oracle for generated programs.
+
+A generated class has no hand-written expected output, so correctness is
+defined *relationally*: every configuration of the stack must tell the
+same story about it.  :func:`run_oracle` verifies a corpus under four
+configurations and cross-checks them:
+
+* **baseline** -- sequential, cache on: the reference trace;
+* **jobs parity** -- a suite-scheduled ``jobs=2`` run over the whole
+  corpus (one pool, cross-class dedup, cost-model-driven order) must
+  reproduce the baseline verdicts bit for bit;
+* **cache parity** -- a cache-disabled sequential run, which re-proves
+  every sequent, must reproduce them too;
+* **warm/cold parity** -- a fresh engine reading the baseline's
+  persistent store must reproduce them *without proving anything* (every
+  outcome answered from cache, disk provenance present).
+
+Independently, :func:`evaluator_counterexample` checks the portfolio
+against the finite-model evaluator: a proved quantifier-free sequent
+whose free variables are all ``int``/``bool`` must have no counterexample
+under any sampled finite interpretation.  The evaluator knows nothing of
+provers, caches or scheduling, so agreement here is evidence about the
+whole pipeline, not one configuration against another.
+
+Shared by the seeded tier-1 corpus test and the nightly deep fuzz
+(``test_deep_fuzz.py``), which is why it lives in its own module.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.logic.evaluator import Interpretation, evaluate
+from repro.logic.sorts import BOOL, INT
+from repro.logic.terms import Binder, free_vars
+from repro.provers.dispatch import default_portfolio
+from repro.verifier.engine import VerificationEngine
+
+#: Benchmark-style timeout scaling (same value the verifier differential
+#: tests use) keeps a multi-configuration corpus round tractable.
+TIMEOUT_SCALE = 0.4
+
+#: The tier-1 seeded corpus: 24 classes (12 per family) at size 3.
+CORPUS_COUNT = 24
+CORPUS_SEED = 0
+
+
+def make_engine(jobs: int = 1, use_cache: bool = True, **kwargs) -> VerificationEngine:
+    return VerificationEngine(
+        default_portfolio(with_cache=use_cache).scaled(TIMEOUT_SCALE),
+        use_proof_cache=use_cache,
+        jobs=jobs,
+        **kwargs,
+    )
+
+
+def verdict_trace(report) -> list[tuple]:
+    """What every configuration must agree on, per sequent, in order.
+
+    Cache provenance and elapsed times legitimately differ between
+    configurations; verdicts, refutations and prover attribution may not.
+    """
+    return [
+        (
+            method.method_name,
+            outcome.sequent.label,
+            outcome.proved,
+            outcome.dispatch.refuted,
+            outcome.prover,
+        )
+        for method in report.methods
+        for outcome in method.outcomes
+    ]
+
+
+def aggregate_trace(report) -> tuple:
+    return (
+        report.class_name,
+        report.methods_total,
+        report.methods_verified,
+        report.sequents_total,
+        report.sequents_proved,
+        report.verified,
+    )
+
+
+# -- evaluator agreement ----------------------------------------------------------
+
+
+def _quantifier_free(term) -> bool:
+    if isinstance(term, Binder):
+        return False
+    return all(_quantifier_free(arg) for arg in getattr(term, "args", ()))
+
+
+def evaluator_counterexample(sequent, samples: int = 8):
+    """A falsifying assignment for a proved sequent, or None.
+
+    Only quantifier-free sequents whose free variables are all ``int`` or
+    ``bool`` are sampled (the finite-model evaluator would need a
+    heap-shaped universe for the rest); returns None for sequents outside
+    that fragment.  Sampling is seeded from the sequent's label, so a
+    disagreement reproduces deterministically.
+    """
+    formula = sequent.formula()
+    if not _quantifier_free(formula):
+        return None
+    variables = free_vars(formula)
+    if any(var.sort not in (INT, BOOL) for var in variables):
+        return None
+    rng = random.Random(sequent.label)
+    for _ in range(samples):
+        env = {
+            var.name: (rng.randint(-3, 3) if var.sort == INT else rng.random() < 0.5)
+            for var in variables
+        }
+        if not evaluate(formula, Interpretation(int_range=(-4, 4), variables=env)):
+            return env
+    return None
+
+
+def assert_evaluator_agreement(report) -> int:
+    """Every proved in-fragment sequent must evaluate true; returns how
+    many sequents the evaluator actually checked (so callers can assert
+    the fragment is not empty)."""
+    checked = 0
+    for method in report.methods:
+        for outcome in method.outcomes:
+            if not outcome.proved:
+                continue
+            counterexample = evaluator_counterexample(outcome.sequent)
+            if counterexample is not None:
+                raise AssertionError(
+                    f"{report.class_name}.{method.method_name} sequent "
+                    f"{outcome.sequent.label!r}: proved by "
+                    f"{outcome.prover!r} but falsified by the evaluator "
+                    f"under {counterexample!r}"
+                )
+            checked += 1
+    return checked
+
+
+# -- the full oracle --------------------------------------------------------------
+
+
+def run_oracle(corpus, cache_dir, require_verified: bool = True) -> dict:
+    """Run every differential check over ``corpus``; returns run facts.
+
+    ``cache_dir`` (a fresh directory) backs the warm/cold check.  The
+    returned dict carries corpus-level numbers (sequent counts per class,
+    evaluator coverage, warm-run provenance) for reporting; all
+    correctness assertions happen inside.
+    """
+    baseline = make_engine(jobs=1, cache_dir=cache_dir)
+    baseline_reports = [baseline.verify_class(cls) for cls in corpus]
+    baseline.close()  # flush the persistent store for the warm engine
+    if require_verified:
+        unverified = [r.class_name for r in baseline_reports if not r.verified]
+        assert not unverified, f"generated classes failed to verify: {unverified}"
+
+    # Jobs parity: one suite-scheduled jobs=2 run over the whole corpus.
+    suite_engine = make_engine(jobs=2)
+    suite_reports = suite_engine.verify_suite(list(corpus))
+    suite_engine.close()
+    suite_by_name = {report.class_name: report for report in suite_reports}
+    for reference in baseline_reports:
+        parallel = suite_by_name[reference.class_name]
+        assert verdict_trace(reference) == verdict_trace(parallel)
+        assert aggregate_trace(reference) == aggregate_trace(parallel)
+
+    # Cache parity: no cache anywhere, every sequent re-proved.
+    uncached_engine = make_engine(jobs=1, use_cache=False)
+    for reference in baseline_reports:
+        cls = next(c for c in corpus if c.name == reference.class_name)
+        uncached = uncached_engine.verify_class(cls)
+        assert verdict_trace(reference) == verdict_trace(uncached)
+        assert aggregate_trace(reference) == aggregate_trace(uncached)
+    uncached_engine.close()
+
+    # Warm/cold parity: a fresh engine over the baseline's store answers
+    # everything from cache, with disk provenance for first encounters.
+    warm_engine = make_engine(jobs=1, cache_dir=cache_dir)
+    warm_hits = {"memory": 0, "disk": 0}
+    for reference in baseline_reports:
+        cls = next(c for c in corpus if c.name == reference.class_name)
+        warm = warm_engine.verify_class(cls)
+        assert verdict_trace(reference) == verdict_trace(warm)
+        assert aggregate_trace(reference) == aggregate_trace(warm)
+        for method in warm.methods:
+            for outcome in method.outcomes:
+                assert outcome.dispatch.cached, (
+                    f"warm run re-proved {outcome.sequent.label!r} "
+                    f"in {cls.name}"
+                )
+                warm_hits[outcome.dispatch.cache_origin] += 1
+    warm_engine.close()
+    assert warm_hits["disk"] > 0, "warm run never touched the persistent store"
+
+    # Evaluator agreement, against the baseline outcomes.
+    evaluator_checked = sum(
+        assert_evaluator_agreement(report) for report in baseline_reports
+    )
+
+    per_family_sequents: dict[str, int] = {}
+    for report in baseline_reports:
+        family = report.class_name.split("-")[1]
+        per_family_sequents[family] = (
+            per_family_sequents.get(family, 0) + report.sequents_total
+        )
+    return {
+        "classes": len(corpus),
+        "sequents_total": sum(r.sequents_total for r in baseline_reports),
+        "per_family_sequents": per_family_sequents,
+        "evaluator_checked": evaluator_checked,
+        "warm_hits": warm_hits,
+    }
+
+
+def check_one_class(cls, cache_dir) -> dict:
+    """The per-class oracle the deep fuzz drives (same checks, corpus of
+    one)."""
+    return run_oracle([cls], cache_dir)

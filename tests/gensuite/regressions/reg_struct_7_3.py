@@ -1,0 +1,19 @@
+"""Deep-fuzz regression: generated program pinned by its recipe.
+
+family='struct' seed=7 size=3 drop_methods=()
+
+Harness self-check, not a real past failure: pins the regression replay path
+(recipe file -> loader -> oracle) so tier 1 exercises it even while the
+regression set is empty.
+
+Replay with:  jahob-py verify <this file>  (or the gensuite oracle).
+"""
+
+from repro.suite.generate import generate_class
+
+MODEL = generate_class(
+    "struct",
+    seed=7,
+    size=3,
+    drop_methods=(),
+)

@@ -1,0 +1,99 @@
+"""Nightly deep fuzz: unbounded exploration of the generator space.
+
+Marked ``fuzz`` and deselected by default (see ``pytest.ini``); the
+nightly CI job runs it with ``-m fuzz`` and a ``--hypothesis-seed``
+echoed into the job log, so any failure reproduces locally from the
+printed seed alone:
+
+    python -m pytest tests/gensuite/test_deep_fuzz.py -m fuzz \\
+        --hypothesis-seed=<seed from the log>
+
+On a failing example the test shrinks the program by greedily dropping
+methods (:func:`repro.suite.generate.shrink_class`) and persists the
+shrunk recipe as a standalone regression file under ``regressions/`` --
+an ordinary ``jahob-py verify FILE`` input that
+``test_regressions_replay`` (tier 1) replays forever after.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from oracle import check_one_class
+
+from repro.suite.generate import (
+    FAMILIES,
+    generate_class,
+    regression_source,
+    shrink_class,
+)
+
+REGRESSIONS = Path(__file__).parent / "regressions"
+
+#: Depth knob for the nightly job; local runs default shallow so a manual
+#: ``-m fuzz`` finishes in minutes.
+MAX_EXAMPLES = int(os.environ.get("JAHOB_FUZZ_EXAMPLES", "25"))
+
+DEEP_FUZZ = settings(
+    max_examples=MAX_EXAMPLES,
+    deadline=None,
+    # Exploration, not regression: fresh examples every run, reproducible
+    # via the --hypothesis-seed the CI job prints.
+    derandomize=False,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _persist_regression(family: str, seed: int, size: int, failure: str) -> Path:
+    """Shrink the failing program and pin it as a replayable recipe."""
+
+    def still_fails(model) -> bool:
+        with tempfile.TemporaryDirectory() as scratch:
+            try:
+                check_one_class(model, Path(scratch) / "cache")
+            except AssertionError:
+                return True
+        return False
+
+    drop = shrink_class(family, seed, size, still_fails)
+    REGRESSIONS.mkdir(exist_ok=True)
+    path = REGRESSIONS / f"reg_{family}_{seed}_{size}.py"
+    path.write_text(
+        regression_source(
+            family,
+            seed,
+            size,
+            drop_methods=drop,
+            note=f"Original failure: {failure}",
+        )
+    )
+    return path
+
+
+@pytest.mark.fuzz
+@DEEP_FUZZ
+@given(
+    family=st.sampled_from(sorted(FAMILIES)),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    size=st.integers(min_value=2, max_value=5),
+)
+def test_deep_fuzz_differential_oracle(tmp_path_factory, family, seed, size):
+    cls = generate_class(family, seed, size=size)
+    cache_dir = tmp_path_factory.mktemp("fuzzcache") / "cache"
+    try:
+        check_one_class(cls, cache_dir)
+    except AssertionError as exc:
+        regression = _persist_regression(family, seed, size, str(exc))
+        raise AssertionError(
+            f"deep fuzz failure: family={family!r} seed={seed} size={size}\n"
+            f"reproduce:  python -c \"from repro.suite.generate import "
+            f"generate_class; generate_class({family!r}, {seed}, "
+            f"size={size})\" then run the oracle, or\n"
+            f"            jahob-py verify {regression}\n"
+            f"(shrunk regression persisted at {regression})\n{exc}"
+        ) from exc

@@ -1,0 +1,26 @@
+"""Replay persisted deep-fuzz regressions (tier 1).
+
+Every file under ``regressions/`` is a standalone recipe the nightly
+fuzz wrote on a past failure (plus one seeded self-check): load it
+through the same ingestion path users take (``jahob-py verify FILE``'s
+:mod:`repro.frontend.loader`) and hold it to the full differential
+oracle, so a once-found failure can never quietly return.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from oracle import run_oracle
+
+from repro.frontend.loader import load_class_models
+
+REGRESSIONS = sorted((Path(__file__).parent / "regressions").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", REGRESSIONS, ids=[path.stem for path in REGRESSIONS])
+def test_regression_replays_clean(path, tmp_path):
+    models = load_class_models(path)
+    assert models, f"{path} exports no class models"
+    run_oracle(models, tmp_path / "cache")

@@ -5,8 +5,11 @@ run or syntax validation"; this is the syntax-validation half, kept in
 tier 1 so the workflow cannot drift from the repo it tests:
 
 * the YAML parses and has the structural shape Actions expects;
-* the tier-1 job runs the exact ROADMAP tier-1 command;
-* the slow job is gated off plain pushes (schedule / dispatch / label);
+* the tier-1 job runs the exact ROADMAP tier-1 command, with coverage
+  collected and uploaded as an artifact;
+* the slow and fuzz jobs are gated off plain pushes (schedule /
+  dispatch / label), and the fuzz job echoes its Hypothesis seed so a
+  failure reproduces locally;
 * the benchmark smoke step and its artifact upload stay wired to a
   script entry point that actually exists and stays runnable.
 """
@@ -44,7 +47,7 @@ def test_workflow_parses_and_has_required_jobs():
     crons = [entry.get("cron") for entry in triggers["schedule"]]
     assert all(isinstance(cron, str) and len(cron.split()) == 5 for cron in crons)
     jobs = data["jobs"]
-    assert {"tier1", "lint", "slow"} <= set(jobs)
+    assert {"tier1", "lint", "slow", "fuzz"} <= set(jobs)
     for name, job in jobs.items():
         assert job.get("runs-on"), f"job {name} has no runner"
         assert isinstance(job.get("steps"), list) and job["steps"], name
@@ -86,8 +89,9 @@ def test_bench_smoke_step_and_artifact():
         for step in jobs["tier1"]["steps"]
         if "upload-artifact" in step.get("uses", "")
     ]
-    assert uploads, "tier1 must upload the benchmark record"
-    assert "bench-smoke.json" in uploads[0]["with"]["path"]
+    assert any(
+        "bench-smoke.json" in step["with"]["path"] for step in uploads
+    ), "tier1 must upload the benchmark record"
     # The script entry the workflow calls must exist and stay arg-parsable.
     import sys
 
@@ -122,6 +126,51 @@ def test_slow_job_is_gated():
     assert "pull_request" in condition
     assert slow.get("needs") == "tier1"
     assert "-m slow" in all_run_lines(slow)
+
+
+def test_tier1_collects_and_uploads_coverage():
+    jobs = load_workflow()["jobs"]
+    runs = all_run_lines(jobs["tier1"])
+    installs = [line for line in runs.splitlines() if "pip install" in line]
+    assert any("pytest-cov" in line for line in installs)
+    assert "--cov=repro" in runs
+    assert "coverage.xml" in runs
+    uploads = [
+        step
+        for step in jobs["tier1"]["steps"]
+        if "upload-artifact" in step.get("uses", "")
+    ]
+    assert any(
+        "coverage.xml" in step["with"]["path"] for step in uploads
+    ), "tier1 must upload the coverage report"
+
+
+def test_fuzz_job_is_gated_and_reproducible():
+    """The deep fuzz runs nightly (like slow), never on plain pushes, and
+    must echo its Hypothesis seed so a failure reproduces locally."""
+    jobs = load_workflow()["jobs"]
+    fuzz = jobs["fuzz"]
+    condition = fuzz.get("if", "")
+    assert "schedule" in condition
+    assert "workflow_dispatch" in condition
+    assert "run-fuzz" in condition
+    assert fuzz.get("needs") == "tier1"
+    runs = all_run_lines(fuzz)
+    assert "-m fuzz" in runs
+    assert "--hypothesis-seed" in runs
+    # The seed is printed before pytest runs, so the log always carries it.
+    assert "echo" in runs and "SEED" in runs
+    # A failing run persists its shrunk regressions as an artifact.
+    uploads = [
+        step for step in fuzz["steps"] if "upload-artifact" in step.get("uses", "")
+    ]
+    assert uploads and uploads[0].get("if") == "failure()"
+    assert "regressions" in uploads[0]["with"]["path"]
+    # The fuzz marker the job selects is registered in pytest.ini, and
+    # tier 1 deselects it.
+    pytest_ini = (REPO_ROOT / "pytest.ini").read_text(encoding="utf-8")
+    assert "fuzz:" in pytest_ini
+    assert "not slow and not fuzz" in pytest_ini
 
 
 def test_workflow_expressions_are_balanced():

@@ -34,9 +34,11 @@ TIMEOUT_SCALE = 0.4
 SECRET = b"daemon-metrics-test-secret"
 
 
-def test_protocol_version_is_3():
-    # The metrics op is a protocol v3 addition; ping must say so.
-    assert PROTOCOL_VERSION == 3
+def test_protocol_version_is_current():
+    # The metrics op arrived in protocol v3; verify_file bumped it to 4.
+    # Ping reports whatever the current version is -- pin it here so any
+    # future op addition bumps the constant deliberately.
+    assert PROTOCOL_VERSION == 4
 
 
 class InThreadWorker(threading.Thread):
