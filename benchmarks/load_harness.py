@@ -1,0 +1,82 @@
+"""Load benchmark for the verification service front door.
+
+Self-hosts a two-job daemon with an HTTP front door on a loopback port
+and storms it with concurrent mixed-priority clients
+(:mod:`repro.verifier.loadgen`), then writes a JSON record with latency
+percentiles (p50/p95/p99), every admission rejection by code, and the
+verdict check against a sequential baseline.  The nightly ``slow`` CI
+job runs ``--smoke`` and uploads the JSON as a build artifact, the
+service-layer counterpart of ``bench_table1.py --smoke``'s prover-layer
+artifact.
+
+Smoke mode must end healthy: zero dropped connections, zero exhausted
+retry budgets, zero verdict mismatches -- a failing exit code here means
+the admission layer broke under the very load it exists to absorb.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.verifier.loadgen import run_loadgen  # noqa: E402
+from repro.verifier.report import format_loadgen  # noqa: E402
+
+#: Matches the benchmark conftest's scale: generous margins on loaded CI
+#: runners without multi-minute prover waits.
+TIMEOUT_SCALE = 0.4
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the CI-sized load experiment (50 clients, 2 tenants)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=50, help="concurrent clients (default 50)"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=4, help="requests per client (default 4)"
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=8, help="daemon queue bound (default 8)"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="daemon worker processes (default 2)"
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", help="write the record here"
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("only --smoke mode is supported; tune it with the flags")
+    record = run_loadgen(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        queue_limit=args.queue_limit,
+        jobs=args.jobs,
+        timeout_scale=TIMEOUT_SCALE,
+    )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    print(format_loadgen(record))
+    requests = record["requests"]
+    healthy = (
+        requests["dropped_connections"] == 0
+        and requests["gave_up"] == 0
+        and requests["succeeded"] == requests["total"]
+        and not record["verdicts"]["mismatches"]
+    )
+    return 0 if healthy else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    sys.exit(main())

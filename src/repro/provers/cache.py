@@ -178,6 +178,17 @@ class ProofCache:
     Hit/miss accounting lives in
     :class:`~repro.provers.result.PortfolioStatistics` (maintained by the
     dispatcher), not here, so there is exactly one set of counters.
+
+    ``namespace`` isolates tenants of a shared cache: while it is set to a
+    non-empty string, every key produced by :meth:`key` is prefixed with a
+    ``("tenant", namespace)`` component, so one tenant's verdicts can
+    neither serve nor poison another's.  The daemon sets it to the
+    authenticated client id for the duration of each engine op
+    (:mod:`repro.verifier.daemon`); the default ``""`` leaves keys exactly
+    as before, so single-tenant callers (CLI, tests, existing persistent
+    stores) are unaffected.  Namespaced keys are ordinary fingerprints to
+    everything downstream -- persistence, cost model, parallel dedup all
+    work per tenant for free.
     """
 
     def __init__(self, max_entries: int = 1 << 16) -> None:
@@ -186,12 +197,17 @@ class ProofCache:
         #: Bumped on every :meth:`store`; lets persistence layers skip
         #: writing when nothing new was learned since the last flush.
         self.mutations = 0
+        #: The active tenant namespace ("" = the shared default tenant).
+        self.namespace = ""
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def key(self, task: ProofTask) -> tuple:
-        return task_fingerprint(task)
+        fingerprint = task_fingerprint(task)
+        if self.namespace:
+            return (("tenant", self.namespace), *fingerprint)
+        return fingerprint
 
     def lookup(self, key: tuple) -> CachedVerdict | None:
         return self._entries.get(key)

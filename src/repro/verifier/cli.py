@@ -13,7 +13,16 @@ Subcommands::
                                   --jobs > 1; see --schedule)
     jahob-py table2               regenerate Table 2 (slow: verifies twice)
     jahob-py serve                run the warm verification daemon on a
-                                  unix socket (--socket) or TCP (--tcp)
+                                  unix socket (--socket) or TCP (--tcp),
+                                  optionally with an HTTP/JSON front door
+                                  (--http; see docs/service-api.md) and
+                                  admission tuning (--queue-limit,
+                                  --rate-limit, --burst)
+    jahob-py loadgen              storm a daemon's HTTP front door with
+                                  concurrent mixed-priority clients and
+                                  report latency percentiles, rejections
+                                  and a verdict check (self-hosts a
+                                  daemon unless --address is given)
     jahob-py metrics              scheduling metrics of a running daemon:
                                   per-worker latency histograms, measured
                                   per-class costs, cache provenance and
@@ -26,10 +35,13 @@ Subcommands::
 With ``--connect ADDR`` (a unix-socket path or ``HOST:PORT``) the ``list``
 / ``verify`` / ``table1`` commands are served by a running daemon
 (``jahob-py serve``) instead of a cold local engine; the printed output is
-identical.  ``--workers HOST:PORT,...`` makes a local run (or a daemon)
-dispatch its prover phase to listening ``jahob-py worker`` processes; all
-TCP endpoints authenticate with the shared secret from ``--secret-file``
-or ``JAHOB_SECRET``.
+identical.  ``--client NAME`` attaches the client identity the daemon
+uses for rate limiting and tenant cache namespacing, and ``--priority
+batch`` yields the admission queue to interactive requests.  ``--workers
+HOST:PORT,...`` makes a local run (or a daemon) dispatch its prover phase
+to listening ``jahob-py worker`` processes; all TCP endpoints
+authenticate with the shared secret from ``--secret-file`` or
+``JAHOB_SECRET``.
 """
 
 from __future__ import annotations
@@ -144,6 +156,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="file holding the shared secret that authenticates TCP "
         "daemon/worker connections (JAHOB_SECRET works too)",
     )
+    parser.add_argument(
+        "--client",
+        default="",
+        metavar="NAME",
+        help="with --connect: the client identity the daemon uses for "
+        "rate limiting and its tenant proof-cache namespace (on TCP it "
+        "rides in the HMAC handshake and cannot be spoofed)",
+    )
+    parser.add_argument(
+        "--priority",
+        choices=("interactive", "batch"),
+        default="interactive",
+        help="with --connect: admission priority lane; 'batch' requests "
+        "yield the queue to 'interactive' ones",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list benchmark data structures")
     verify = subparsers.add_parser(
@@ -182,6 +209,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "shared secret (--secret-file or JAHOB_SECRET)",
     )
     serve.add_argument(
+        "--http",
+        default=None,
+        metavar="HOST:PORT",
+        help="also serve the HTTP/JSON API on this address (requires the "
+        "shared secret; routes in docs/service-api.md)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        metavar="N",
+        help="max engine requests waiting in the admission queue before "
+        "new ones are rejected with code 'queue_full' (default 16)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="R",
+        help="per-client token-bucket rate limit, requests/second "
+        "(default: no rate limiting)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        metavar="B",
+        help="token-bucket burst capacity (default: max(1, rate))",
+    )
+    serve.add_argument(
         "--worker-listen",
         default=None,
         metavar="HOST:PORT",
@@ -207,6 +264,75 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "shutdown",
         help="flush the daemon's caches and stop it (requires --connect)",
+    )
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="drive a daemon's HTTP front door with concurrent "
+        "mixed-priority clients and report latency percentiles, "
+        "admission rejections and a sequential-baseline verdict check",
+    )
+    loadgen.add_argument(
+        "--clients",
+        type=int,
+        default=50,
+        metavar="N",
+        help="concurrent client threads (default 50)",
+    )
+    loadgen.add_argument(
+        "--requests",
+        type=int,
+        default=4,
+        metavar="N",
+        help="requests per client (default 4)",
+    )
+    loadgen.add_argument(
+        "--tenants",
+        type=int,
+        default=2,
+        metavar="N",
+        help="distinct client identities / cache namespaces (default 2)",
+    )
+    loadgen.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        metavar="N",
+        help="self-hosted daemon's admission queue bound (default 8, "
+        "deliberately small so queue-full rejections are exercised)",
+    )
+    loadgen.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="R",
+        help="self-hosted daemon's per-client rate limit, requests/second",
+    )
+    loadgen.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="self-hosted daemon's worker processes (default 2)",
+    )
+    loadgen.add_argument(
+        "--address",
+        default=None,
+        metavar="HOST:PORT",
+        help="drive this live HTTP front door instead of self-hosting "
+        "(requires its shared secret)",
+    )
+    loadgen.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON record here (the CI artifact shape)",
+    )
+    loadgen.add_argument(
+        "--secret-file",
+        dest="secret_file",
+        default=argparse.SUPPRESS,  # see the serve copy
+        metavar="PATH",
+        help="same as the global --secret-file, accepted after 'loadgen' too",
     )
     worker = subparsers.add_parser(
         "worker",
@@ -304,7 +430,7 @@ def _run_connected(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
     except OSError as exc:
         print(f"cannot read --secret-file: {exc}", file=sys.stderr)
         return 2
-    client = DaemonClient(args.connect, secret=secret)
+    client = DaemonClient(args.connect, secret=secret, client_id=args.client)
     if args.command == "list":
         request = {"op": "list"}
     elif args.command == "verify" and _is_program_path(args.name):
@@ -326,6 +452,8 @@ def _run_connected(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
     else:
         print(f"--connect does not support {args.command!r}", file=sys.stderr)
         return 2
+    if args.priority != "interactive":
+        request["priority"] = args.priority
     try:
         response = client.request(request)
     except DaemonError as exc:
@@ -370,6 +498,10 @@ def _run_serve(args: argparse.Namespace) -> int:
             secret=secret,
             workers=args.workers,
             worker_listen=args.worker_listen,
+            queue_limit=args.queue_limit,
+            rate_limit=args.rate_limit,
+            burst=args.burst,
+            http=args.http,
         )
     except DaemonError as exc:
         print(str(exc), file=sys.stderr)
@@ -392,6 +524,11 @@ def _run_serve(args: argparse.Namespace) -> int:
             f"jahob-py daemon accepting workers on {daemon.registry.address}",
             flush=True,
         )
+    if daemon.http_door is not None:
+        print(
+            f"jahob-py daemon serving HTTP on {daemon.http_door.address}",
+            flush=True,
+        )
     print(f"jahob-py daemon listening on {daemon.address}", flush=True)
     try:
         daemon.serve_forever()
@@ -401,6 +538,60 @@ def _run_serve(args: argparse.Namespace) -> int:
         daemon.close()
         signal.signal(signal.SIGTERM, previous)
     return 0
+
+
+def _run_loadgen(args: argparse.Namespace) -> int:
+    """Run the load harness, print the human report, optionally write JSON."""
+    import json
+
+    from .http import HttpApiError
+    from .loadgen import run_loadgen
+    from .report import format_loadgen
+
+    secret = None
+    if args.address is not None:
+        try:
+            secret = _load_secret_arg(args)
+        except OSError as exc:
+            print(f"cannot read --secret-file: {exc}", file=sys.stderr)
+            return 2
+        if not secret:
+            print(
+                "loadgen --address requires the front door's shared secret "
+                "(--secret-file or JAHOB_SECRET)",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        record = run_loadgen(
+            clients=args.clients,
+            requests_per_client=args.requests,
+            tenants=args.tenants,
+            queue_limit=args.queue_limit,
+            rate_limit=args.rate_limit,
+            jobs=args.jobs,
+            timeout_scale=args.timeout_scale,
+            address=args.address,
+            secret=secret,
+        )
+    except HttpApiError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    print(format_loadgen(record))
+    requests = record["requests"]
+    healthy = (
+        requests["dropped_connections"] == 0
+        and requests["gave_up"] == 0
+        and requests["succeeded"] == requests["total"]
+        and not record["verdicts"]["mismatches"]
+    )
+    return 0 if healthy else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -422,6 +613,8 @@ def main(argv: list[str] | None = None) -> int:
             secret=secret,
             once=args.once,
         )
+    if args.command == "loadgen":
+        return _run_loadgen(args)
     if args.command == "serve":
         if args.connect is not None:
             print(

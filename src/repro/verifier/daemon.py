@@ -48,11 +48,24 @@ Requests are served **concurrently**: every accepted connection gets its
 own thread, so ``ping`` / ``list`` / ``stats`` are answered immediately
 even while a multi-minute ``table1`` is in flight.  Ops that drive the
 engine (``verify`` / ``verify_file`` / ``suite`` / ``table1`` /
-``shutdown``) serialize on
-one engine lock -- the portfolio's caches and counters are deliberately
-single-writer.  A request carrying ``"nowait": true`` refuses to queue:
-if the engine is busy it is answered at once with ``"ok": false`` and
-``"busy": true``.
+``shutdown``) pass **admission control**
+(:mod:`repro.verifier.admission`) before touching the engine -- the
+portfolio's caches and counters are deliberately single-writer, so one
+request runs at a time while the rest wait in a bounded FIFO queue with
+priority lanes (``"priority": "interactive"`` ahead of ``"batch"``).  A
+full queue, an over-rate client, or a busy engine under ``"nowait":
+true`` are all answered at once with the structured rejection shape
+``{"ok": false, "busy": true, "code": ..., "retry_after": ...}``.
+Clients carry an identity -- the ``client`` request field on the trusted
+unix socket, the HMAC-authenticated handshake role (``client:NAME``, see
+:func:`repro.verifier.wire.client_role`) on TCP -- which keys both the
+per-client token-bucket rate limit and the **per-tenant proof-cache
+namespace**: one tenant's cached verdicts can neither serve nor poison
+another's.
+
+The daemon can additionally serve the same ops over an **HTTP/1.1 JSON
+API** (``serve --http HOST:PORT``, :mod:`repro.verifier.http`); the route
+table and semantics are documented in ``docs/service-api.md``.
 
 Shutdown is graceful in all paths -- the ``shutdown`` op, ``SIGTERM`` /
 ``SIGINT`` under ``jahob-py serve``, or :meth:`VerifierDaemon.stop` from a
@@ -76,6 +89,11 @@ from pathlib import Path
 
 from ..provers.dispatch import default_portfolio
 from ..suite.catalog import all_structures, structure_by_name
+from .admission import (
+    PRIORITY_LANES,
+    AdmissionController,
+    rejection_response,
+)
 from .engine import ClassReport, VerificationEngine
 from .report import (
     format_suite,
@@ -89,19 +107,24 @@ from .wire import (
     HandshakeError,
     LineChannel,
     WireError,
+    client_role,
     connect_address,
     create_listener,
     handshake_accept,
     handshake_connect,
     parse_address,
+    parse_client_role,
 )
 
 __all__ = ["PROTOCOL_VERSION", "DaemonError", "VerifierDaemon", "DaemonClient"]
 
 #: Bumped on incompatible protocol changes; ``ping`` reports it so clients
 #: can refuse to talk to a daemon from another era.  Version 3 added the
-#: ``metrics`` op; version 4 added ``verify_file``.
-PROTOCOL_VERSION = 4
+#: ``metrics`` op; version 4 added ``verify_file``; version 5 replaced the
+#: bare busy error with admission control (structured ``code`` /
+#: ``retry_after`` rejections, priority lanes, per-client rate limits and
+#: tenant cache namespaces) and added the HTTP front door.
+PROTOCOL_VERSION = 5
 
 #: Hard cap on one request line; a unix-socket peer is trusted, but a
 #: corrupt client must not make the daemon buffer without bound.
@@ -191,6 +214,10 @@ class VerifierDaemon:
         secret: bytes | None = None,
         workers: list[str] | str | None = None,
         worker_listen: str | None = None,
+        queue_limit: int = 16,
+        rate_limit: float | None = None,
+        burst: float | None = None,
+        http: str | None = None,
     ) -> None:
         self.address_kind, _ = parse_address(address)
         self.socket_path = Path(address) if self.address_kind == "unix" else None
@@ -239,8 +266,24 @@ class VerifierDaemon:
         self._stopping = False
         self._server: socket.socket | None = None
         self._bound = False  # whether *we* own the socket file
-        self._engine_lock = threading.Lock()
+        self.admission = AdmissionController(
+            queue_limit=queue_limit, rate=rate_limit, burst=burst
+        )
+        # The raw engine lock stays reachable under its old name: tests and
+        # internal code that serialize against the engine directly keep
+        # working, and the admission queue's lock-polling tolerates them.
+        self._engine_lock = self.admission.lock
         self._threads: set[threading.Thread] = set()
+        self.http_door = None
+        if http is not None:
+            from .http import HttpFrontDoor
+
+            if not secret:
+                raise DaemonError(
+                    "serving HTTP requires a shared secret "
+                    "(--secret-file or JAHOB_SECRET)"
+                )
+            self.http_door = HttpFrontDoor(http, self, secret)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -249,7 +292,9 @@ class VerifierDaemon:
         return self._server is not None
 
     def bind(self) -> None:
-        """Create and bind the listening socket (idempotent)."""
+        """Create and bind the listening socket(s) (idempotent)."""
+        if self.http_door is not None:
+            self.http_door.bind()
         if self._server is not None:
             return
         if self.address_kind == "tcp":
@@ -332,6 +377,8 @@ class VerifierDaemon:
             # dial out here; nothing is forked.)
             self.engine.warm_pool()
             self.bind()
+            if self.http_door is not None:
+                self.http_door.start()
             while not self._stopping:
                 # Local alias: a concurrent close() nulls self._server, and
                 # the loop must see either the live socket (whose close()
@@ -392,14 +439,17 @@ class VerifierDaemon:
         if self._server is not None:
             self._server.close()
             self._server = None
+        if self.http_door is not None:
+            self.http_door.close()
         if self.registry is not None:
             self.registry.close()
         # Never tear the engine down under a still-running engine op: if
         # a request thread outlived the bounded join in serve_forever,
-        # waiting on the lock here is what keeps the flush-on-shutdown
+        # waiting on the slot here is what keeps the flush-on-shutdown
         # guarantee (a flush racing a cache-mutating verify is not a
-        # flush).
-        with self._engine_lock:
+        # flush).  exclusive() queues behind admitted work but bypasses
+        # the queue bound and rate limits -- teardown is never load-shed.
+        with self.admission.exclusive():
             self.engine.close()
 
     # -- one request -------------------------------------------------------------
@@ -416,13 +466,18 @@ class VerifierDaemon:
     def _serve_connection(self, connection: socket.socket) -> None:
         connection.settimeout(_IO_TIMEOUT)
         channel = LineChannel(connection, limit=_MAX_REQUEST_BYTES)
+        client: str | None = None
         if self.address_kind == "tcp":
             try:
-                handshake_accept(channel, self.secret, expect_role="client")
+                role = handshake_accept(channel, self.secret, expect_role="client")
             except (WireError, HandshakeError):
                 # An unauthenticated peer gets nothing, not even an op
                 # error; handshake_accept already said "handshake failed".
                 return
+            # The id inside "client:NAME" is MAC-covered by the handshake,
+            # so it overrides anything the request body claims; a bare
+            # "client" role stays anonymous.
+            client = parse_client_role(role) or ""
         try:
             try:
                 request = channel.recv()
@@ -433,7 +488,7 @@ class VerifierDaemon:
             else:
                 if request is None:
                     return  # clean hang-up before any request
-                response = self.handle(request)
+                response = self.handle(request, client=client)
             channel.send(response)
         except (OSError, WireError):
             # A client that hung up mid-request costs us nothing; the
@@ -442,28 +497,47 @@ class VerifierDaemon:
 
     # -- request handling ---------------------------------------------------------
 
-    def handle(self, request: dict) -> dict:
+    def handle(self, request: dict, *, client: str | None = None) -> dict:
         """Execute one request object and return the response object.
 
         Exposed directly (besides the socket loop) so tests can exercise
-        op semantics without a live socket.  Engine-driving ops serialize
-        on the engine lock; with ``"nowait": true`` a busy engine is
-        reported instead of waited for.
+        op semantics without a live socket.  Engine-driving ops pass
+        admission control first: a busy engine queues the request in its
+        priority lane (``"priority"``, default ``interactive``) unless
+        ``"nowait": true``, and a full queue or over-rate client is
+        rejected immediately with the structured shape of
+        :func:`repro.verifier.admission.rejection_response`.
+
+        ``client`` is the transport-authenticated client id (TCP handshake
+        role, HTTP signed header); ``None`` means the transport carries no
+        identity and the trusted ``"client"`` request field is used
+        instead (the unix socket and direct ``handle`` calls).
         """
         op = request.get("op")
         handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
         if handler is None:
             return {"ok": False, "error": f"unknown op {op!r}"}
-        locked = False
+        client_id = client if client is not None else str(request.get("client") or "")
+        priority = request.get("priority", "interactive")
+        if priority not in PRIORITY_LANES:
+            return {
+                "ok": False,
+                "error": f"unknown priority {priority!r} "
+                f"(expected one of {', '.join(PRIORITY_LANES)})",
+            }
+        admitted = False
         if op in _ENGINE_OPS:
-            locked = self._engine_lock.acquire(blocking=not request.get("nowait"))
-            if not locked:
-                return {
-                    "ok": False,
-                    "busy": True,
-                    "error": "daemon busy: the engine is serving another "
-                    "request (drop 'nowait' to queue)",
-                }
+            decision = self.admission.admit(
+                client=client_id,
+                priority=priority,
+                nowait=bool(request.get("nowait")),
+            )
+            if not decision.admitted:
+                return rejection_response(decision)
+            admitted = True
+            # The engine slot is exclusive, so retargeting the shared
+            # proof cache at this tenant's namespace is race-free.
+            self.engine.set_cache_namespace(client_id)
         try:
             self.requests_served += 1
             start = time.monotonic()
@@ -475,8 +549,9 @@ class VerifierDaemon:
             response["elapsed"] = time.monotonic() - start
             return response
         finally:
-            if locked:
-                self._engine_lock.release()
+            if admitted:
+                self.engine.set_cache_namespace("")
+                self.admission.release()
 
     def _op_ping(self, request: dict) -> dict:
         return {
@@ -591,6 +666,7 @@ class VerifierDaemon:
             "counters": counters.as_dict(),
             "cost_model": engine.cost_model.as_dict(),
             "workers": engine.worker_metrics(),
+            "admission": self.admission.snapshot(),
             "schedule": None,
         }
         stats = engine.last_suite_stats
@@ -645,14 +721,21 @@ class DaemonClient:
         address: str | Path,
         connect_timeout: float = 5.0,
         secret: bytes | None = None,
+        client_id: str = "",
     ) -> None:
         self.address = str(address)
         self.is_tcp = parse_address(address)[0] == "tcp"
         self.connect_timeout = connect_timeout
         self.secret = secret
+        self.client_id = client_id
 
     def request(self, payload: dict) -> dict:
-        """Send one request object and return the parsed response object."""
+        """Send one request object and return the parsed response object.
+
+        On TCP the client id (if any) rides in the handshake role, where
+        the HMAC covers it; on the unix socket it is added as the trusted
+        ``client`` request field unless the payload already carries one.
+        """
         if self.is_tcp and not self.secret:
             raise DaemonError(
                 f"connecting to the TCP daemon at {self.address} requires "
@@ -664,11 +747,15 @@ class DaemonClient:
             raise DaemonError(
                 f"cannot connect to daemon at {self.address}: {exc}"
             ) from exc
+        if not self.is_tcp and self.client_id:
+            payload = {"client": self.client_id, **payload}
         channel = LineChannel(sock)
         try:
             if self.is_tcp:
                 try:
-                    handshake_connect(channel, self.secret, role="client")
+                    handshake_connect(
+                        channel, self.secret, role=client_role(self.client_id)
+                    )
                 except (WireError, HandshakeError) as exc:
                     raise DaemonError(
                         f"handshake with daemon at {self.address} "

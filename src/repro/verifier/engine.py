@@ -458,6 +458,21 @@ class VerificationEngine:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- multi-tenancy ----------------------------------------------------------------
+
+    def set_cache_namespace(self, tenant: str) -> None:
+        """Scope proof-cache keys to ``tenant`` until the next call.
+
+        The daemon brackets every engine op with this (set to the
+        authenticated client id, reset to ``""`` afterwards) so tenants of
+        one warm daemon cannot read or poison each other's verdicts.  The
+        engine serializes engine ops externally (the daemon's admission
+        controller), so flipping the namespace between ops is race-free.
+        """
+        cache = self.portfolio.proof_cache
+        if cache is not None:
+            cache.namespace = tenant or ""
+
     # -- cost model ------------------------------------------------------------------
 
     def observe_timing(self, class_name: str, key, result) -> None:

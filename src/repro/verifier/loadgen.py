@@ -1,0 +1,298 @@
+"""Load harness for the verification service (``jahob-py loadgen``).
+
+The admission layer's claims -- bounded queueing, structured 429s,
+per-tenant cache isolation, zero dropped connections under burst -- are
+only claims until something hammers the front door.  This module drives N
+concurrent HTTP clients with a mixed, mixed-priority op workload against
+a daemon (self-hosted in-process by default, or any reachable front door
+via ``address=``) and reports what actually happened: latency
+percentiles from :class:`~repro.verifier.stats.LatencyHistogram`, every
+rejection by code, retry counts, and a **verdict check** -- every load-phase
+``verify`` answer is compared against a sequential per-tenant baseline
+taken before the storm, so a concurrency bug that flips a verdict fails
+the run loudly instead of averaging away.
+
+The harness retries 429s with the server's own ``Retry-After`` hint
+(clamped -- a load generator that sleeps 30s per hint measures nothing),
+so a healthy run ends with ``gave_up == 0`` and
+``dropped_connections == 0`` no matter how hard the queue was thrashed.
+
+``run_loadgen`` returns a JSON-ready record shaped like the
+``bench_table1.py --smoke`` artifact; ``benchmarks/load_harness.py``
+writes it for CI, and :func:`repro.verifier.report.format_loadgen`
+renders it for humans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .http import HttpApiClient, HttpApiError
+from .stats import LatencyHistogram
+
+__all__ = ["DEFAULT_STRUCTURES", "OP_MIX", "run_loadgen"]
+
+#: Catalogue classes the harness verifies -- the two fastest, so the load
+#: phase measures the service layer, not the provers.
+DEFAULT_STRUCTURES = ("Array List", "Linked List")
+
+#: One client's request rotation: mostly engine-driving ``verify`` (the
+#: contended path) with lock-free reads mixed in, the way a real tenant
+#: polls metrics while verifications queue.
+OP_MIX = ("verify", "verify", "verify", "metrics", "verify", "stats")
+
+#: Retry-After clamp (seconds).  The server's hint is honoured but capped:
+#: a load generator exists to thrash the queue, not to politely drain it.
+_RETRY_CLAMP = (0.01, 0.25)
+
+#: Per-request retry budget.  With a deliberately tiny queue every client
+#: sees many 429s; giving up is a harness failure (``gave_up`` counts it),
+#: so the budget is generous.
+_MAX_ATTEMPTS = 500
+
+
+class _Stats:
+    """Shared, locked counters for all client threads."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.latency = LatencyHistogram()
+        self.by_op: dict[str, LatencyHistogram] = {}
+        self.succeeded = 0
+        self.retries = 0
+        self.rejections: dict[str, int] = {}
+        self.dropped = 0
+        self.gave_up = 0
+        self.mismatches: list[dict] = []
+        self.checked = 0
+
+    def record_ok(self, op: str, seconds: float) -> None:
+        with self.lock:
+            self.succeeded += 1
+            self.latency.add(seconds)
+            self.by_op.setdefault(op, LatencyHistogram()).add(seconds)
+
+    def record_rejection(self, code: str) -> None:
+        with self.lock:
+            self.retries += 1
+            self.rejections[code] = self.rejections.get(code, 0) + 1
+
+
+def _request_for(op: str, structure: str) -> tuple[str, str, dict | None]:
+    if op == "verify":
+        return "POST", "/v1/verify", {"name": structure}
+    if op == "metrics":
+        return "GET", "/v1/metrics", None
+    if op == "stats":
+        return "GET", "/v1/stats", None
+    raise ValueError(f"loadgen has no request shape for op {op!r}")
+
+
+def _client_worker(
+    index: int,
+    address: str,
+    secret: bytes,
+    tenant: str,
+    priority: str,
+    requests: int,
+    structures: tuple[str, ...],
+    baseline: dict,
+    stats: _Stats,
+    start_gate: threading.Event,
+) -> None:
+    api = HttpApiClient(address, secret, client_id=tenant)
+    start_gate.wait()
+    for j in range(requests):
+        op = OP_MIX[(index + j) % len(OP_MIX)]
+        structure = structures[(index + j) % len(structures)]
+        method, path, body = _request_for(op, structure)
+        if body is not None:
+            body["priority"] = priority
+        for attempt in range(_MAX_ATTEMPTS):
+            begin = time.monotonic()
+            try:
+                status, response = api.request(method, path, body)
+            except HttpApiError:
+                with stats.lock:
+                    stats.dropped += 1
+                break
+            elapsed = time.monotonic() - begin
+            if status == 429:
+                stats.record_rejection(response.get("code") or "busy")
+                hint = float(response.get("retry_after") or 0.0)
+                low, high = _RETRY_CLAMP
+                # Spread retries out by client index: 50 clients waking
+                # on the same hint would re-create the burst they just
+                # bounced off.
+                time.sleep(min(high, max(low, hint)) * (1.0 + index / 50.0))
+                continue
+            stats.record_ok(op, elapsed)
+            if op == "verify" and status == 200:
+                with stats.lock:
+                    stats.checked += 1
+                    expected = baseline[(tenant, structure)]
+                    if response.get("exit") != expected:
+                        stats.mismatches.append(
+                            {
+                                "tenant": tenant,
+                                "structure": structure,
+                                "expected_exit": expected,
+                                "got_exit": response.get("exit"),
+                            }
+                        )
+            break
+        else:
+            with stats.lock:
+                stats.gave_up += 1
+
+
+def run_loadgen(
+    clients: int = 50,
+    requests_per_client: int = 4,
+    tenants: int = 2,
+    structures: tuple[str, ...] = DEFAULT_STRUCTURES,
+    queue_limit: int = 8,
+    rate_limit: float | None = None,
+    jobs: int = 2,
+    timeout_scale: float = 1.0,
+    address: str | None = None,
+    secret: bytes | None = None,
+) -> dict:
+    """Run one load experiment and return its JSON-ready record.
+
+    Self-hosts a ``jobs``-worker daemon with an HTTP front door on a
+    loopback port unless ``address`` (plus ``secret``) points at a live
+    one.  ``queue_limit`` is deliberately small relative to ``clients``
+    so the queue-full path is actually exercised; ``rate_limit`` (per
+    tenant, requests/second) is off by default -- a limiter would shape
+    the very burst the harness wants to measure.
+    """
+    tenant_ids = [f"tenant-{i}" for i in range(max(1, tenants))]
+    daemon = None
+    server_thread = None
+    if address is None:
+        from .daemon import VerifierDaemon
+
+        secret = secret or b"loadgen-local-secret"
+        daemon = VerifierDaemon(
+            "127.0.0.1:0",
+            jobs=jobs,
+            persist=False,
+            timeout_scale=timeout_scale,
+            secret=secret,
+            http="127.0.0.1:0",
+            queue_limit=queue_limit,
+            rate_limit=rate_limit,
+        )
+        daemon.bind()
+        address = daemon.http_door.address
+        server_thread = threading.Thread(
+            target=daemon.serve_forever, name="loadgen-daemon", daemon=True
+        )
+        server_thread.start()
+    elif secret is None:
+        raise HttpApiError("driving an external front door requires its secret")
+    try:
+        HttpApiClient(address, secret).wait_ready()
+
+        # Sequential baseline: one verify per (tenant, structure), no
+        # concurrency.  Records the ground-truth exit codes the load
+        # phase must reproduce bit-identically, and warms each tenant's
+        # cache namespace so the storm measures the service layer.
+        baseline: dict[tuple[str, str], int] = {}
+        baseline_wall = time.monotonic()
+        for tenant in tenant_ids:
+            api = HttpApiClient(address, secret, client_id=tenant)
+            for structure in structures:
+                status, response = api.request(
+                    "POST", "/v1/verify", {"name": structure}
+                )
+                if status != 200 or "exit" not in response:
+                    raise HttpApiError(
+                        f"baseline verify of {structure!r} for {tenant} "
+                        f"answered {status}: {response.get('error')}"
+                    )
+                baseline[(tenant, structure)] = response["exit"]
+        baseline_wall = time.monotonic() - baseline_wall
+
+        stats = _Stats()
+        start_gate = threading.Event()
+        threads = []
+        for index in range(clients):
+            thread = threading.Thread(
+                target=_client_worker,
+                args=(
+                    index,
+                    address,
+                    secret,
+                    tenant_ids[index % len(tenant_ids)],
+                    "interactive" if index % 2 == 0 else "batch",
+                    requests_per_client,
+                    tuple(structures),
+                    baseline,
+                    stats,
+                    start_gate,
+                ),
+                name=f"loadgen-client-{index}",
+                daemon=True,
+            )
+            threads.append(thread)
+            thread.start()
+        load_wall = time.monotonic()
+        start_gate.set()  # all clients burst at once
+        for thread in threads:
+            thread.join()
+        load_wall = time.monotonic() - load_wall
+
+        _, metrics = HttpApiClient(address, secret).request("GET", "/v1/metrics")
+        admission = metrics.get("admission", {})
+        if daemon is None:
+            # Against a remote daemon the local queue_limit argument is
+            # meaningless; report the server's actual configuration.
+            queue_limit = admission.get("queue_limit", queue_limit)
+    finally:
+        if daemon is not None:
+            daemon.stop()
+            if server_thread is not None:
+                server_thread.join(timeout=30.0)
+
+    return {
+        "benchmark": "loadgen",
+        "config": {
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+            "tenants": tenant_ids,
+            "structures": list(structures),
+            "queue_limit": queue_limit,
+            "rate_limit": rate_limit,
+            "jobs": jobs,
+            "timeout_scale": timeout_scale,
+            "self_hosted": daemon is not None,
+        },
+        "wall_seconds": {
+            "baseline": round(baseline_wall, 3),
+            "load": round(load_wall, 3),
+        },
+        "requests": {
+            "total": clients * requests_per_client,
+            "succeeded": stats.succeeded,
+            "retries": stats.retries,
+            "gave_up": stats.gave_up,
+            "dropped_connections": stats.dropped,
+        },
+        "rejections": dict(sorted(stats.rejections.items())),
+        "latency": stats.latency.as_dict(),
+        "latency_by_op": {
+            op: hist.as_dict() for op, hist in sorted(stats.by_op.items())
+        },
+        "verdicts": {
+            "checked": stats.checked,
+            "mismatches": stats.mismatches,
+            "baseline": {
+                f"{tenant}/{structure}": exit_code
+                for (tenant, structure), exit_code in sorted(baseline.items())
+            },
+        },
+        "admission": admission,
+    }

@@ -110,6 +110,32 @@ class LatencyHistogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        Linear interpolation inside the winning band, which is as precise
+        as a fixed-bucket histogram gets: exact enough for p50/p95/p99
+        load reports, and cheap enough to keep per-connection.  The
+        overflow band is clamped to the observed ``peak``.
+        """
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        lower = 0.0
+        for index, bound in enumerate(LATENCY_BUCKETS):
+            band = self.counts[index]
+            if seen + band >= rank:
+                if not band:
+                    return min(lower, self.peak)
+                fraction = (rank - seen) / band
+                # Clamp to the observed peak: interpolation must not
+                # report a quantile above the largest sample.
+                return min(lower + fraction * (bound - lower), self.peak)
+            seen += band
+            lower = bound
+        return self.peak
+
     def as_dict(self) -> dict:
         """JSON-ready snapshot: summary numbers plus per-band counts."""
         bands = [[bound, count] for bound, count in zip(LATENCY_BUCKETS, self.counts)]
@@ -118,6 +144,9 @@ class LatencyHistogram:
             "count": self.count,
             "mean": round(self.mean, 6),
             "max": round(self.peak, 6),
+            "p50": round(self.percentile(0.50), 6),
+            "p95": round(self.percentile(0.95), 6),
+            "p99": round(self.percentile(0.99), 6),
             "buckets": bands,
         }
 

@@ -54,6 +54,8 @@ __all__ = [
     "load_secret",
     "handshake_accept",
     "handshake_connect",
+    "client_role",
+    "parse_client_role",
     "LineChannel",
     "encode_payload",
     "decode_payload",
@@ -270,7 +272,12 @@ def handshake_accept(
     if not hmac.compare_digest(mac, _mac(secret, nonce, role)):
         channel.send({"ok": False, "error": "handshake failed"})
         raise HandshakeError("peer presented a wrong shared secret")
-    if expect_role is not None and role != expect_role:
+    if expect_role is not None and role != expect_role and not (
+        role.startswith(expect_role + ":")
+    ):
+        # "client:alice" satisfies expect_role="client": the suffix is the
+        # peer's self-declared identity, HMAC-bound like the rest of the
+        # role string (see client_role / parse_client_role).
         channel.send({"ok": False, "error": f"unexpected role {role!r}"})
         raise HandshakeError(f"expected a {expect_role!r} peer, got {role!r}")
     channel.send({"ok": True, "mac": _mac(secret, peer_nonce, "acceptor")})
@@ -304,6 +311,26 @@ def handshake_connect(channel: LineChannel, secret: bytes, role: str) -> None:
         mac, _mac(secret, own_nonce, "acceptor")
     ):
         raise HandshakeError("peer failed to prove the shared secret")
+
+
+def client_role(client_id: str = "") -> str:
+    """The handshake role a daemon client authenticates as.
+
+    A bare ``"client"`` is the anonymous default; ``"client:alice"``
+    carries the client id the daemon uses for rate limiting and tenant
+    cache namespacing.  The whole role string is covered by the handshake
+    MAC, so a TCP peer cannot claim an id without the shared secret.
+    """
+    return f"client:{client_id}" if client_id else "client"
+
+
+def parse_client_role(role: str) -> str | None:
+    """The client id inside a handshake role, or ``None`` for non-clients."""
+    if role == "client":
+        return ""
+    if role.startswith("client:"):
+        return role[len("client:"):]
+    return None
 
 
 # ---------------------------------------------------------------------------

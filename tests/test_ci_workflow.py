@@ -128,6 +128,33 @@ def test_slow_job_is_gated():
     assert "-m slow" in all_run_lines(slow)
 
 
+def test_slow_job_runs_loadgen_smoke_and_uploads_latency_record():
+    """The nightly front-door load harness: smoke run + JSON artifact so
+    latency percentiles (p50/p95/p99) are tracked per night."""
+    jobs = load_workflow()["jobs"]
+    runs = all_run_lines(jobs["slow"])
+    assert "benchmarks/load_harness.py" in runs and "--smoke" in runs
+    assert "loadgen-smoke.json" in runs
+    uploads = [
+        step
+        for step in jobs["slow"]["steps"]
+        if "upload-artifact" in step.get("uses", "")
+    ]
+    assert any(
+        "loadgen-smoke.json" in step["with"]["path"] for step in uploads
+    ), "slow job must upload the load-harness record"
+    # The script entry the workflow calls must exist and stay importable.
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        import load_harness
+
+        assert callable(load_harness.main)
+    finally:
+        sys.path.pop(0)
+
+
 def test_tier1_collects_and_uploads_coverage():
     jobs = load_workflow()["jobs"]
     runs = all_run_lines(jobs["tier1"])

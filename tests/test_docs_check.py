@@ -1,10 +1,13 @@
-"""Tier-1 docs check: the README quickstart must run, links must resolve.
+"""Tier-1 docs check: the README quickstarts must run, links must resolve.
 
 Three guards against documentation drift:
 
-* the README code block marked ``<!-- docs-check: execute -->`` is
+* every README code block marked ``<!-- docs-check: execute -->`` is
   executed verbatim, command by command (a renamed flag or subcommand
-  breaks this test, not a user's first contact with the repo);
+  breaks this test, not a user's first contact with the repo).  Blocks
+  may set ``VAR=value`` environment prefixes, and a trailing ``&``
+  backgrounds a long-running command (the daemon of the HTTP
+  quickstart) exactly like a shell would;
 * every CLI option and subcommand the argument parser actually defines
   must be mentioned in the README's CLI reference;
 * every relative markdown link in ``README.md`` and ``docs/*.md`` must
@@ -28,37 +31,106 @@ DOCS = REPO_ROOT / "docs"
 
 _EXECUTE_MARKER = "<!-- docs-check: execute -->"
 
+_ENV_PREFIX = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*=")
+
+
+def quickstart_blocks() -> list[list[str]]:
+    """The ``$``-prefixed commands of every marked README block, in order."""
+    text = README.read_text(encoding="utf-8")
+    assert _EXECUTE_MARKER in text, "README lost its executable quickstart blocks"
+    blocks = []
+    for part in text.split(_EXECUTE_MARKER)[1:]:
+        match = re.search(r"```console\n(.*?)```", part, re.DOTALL)
+        assert match, "no ```console block after a docs-check marker"
+        commands = []
+        for line in match.group(1).splitlines():
+            line = line.strip()
+            if line.startswith("$ "):
+                commands.append(line[2:].split("  #", 1)[0].strip())
+        assert commands, "a marked quickstart block contains no commands"
+        blocks.append(commands)
+    return blocks
+
 
 def quickstart_commands() -> list[str]:
-    """The ``$``-prefixed commands of the marked README quickstart block."""
-    text = README.read_text(encoding="utf-8")
-    assert _EXECUTE_MARKER in text, "README lost its executable quickstart block"
-    block = text.split(_EXECUTE_MARKER, 1)[1]
-    match = re.search(r"```console\n(.*?)```", block, re.DOTALL)
-    assert match, "no ```console block after the docs-check marker"
-    commands = []
-    for line in match.group(1).splitlines():
-        line = line.strip()
-        if line.startswith("$ "):
-            commands.append(line[2:].split("  #", 1)[0].strip())
-    assert commands, "quickstart block contains no commands"
-    return commands
+    """The first (original) quickstart block."""
+    return quickstart_blocks()[0]
 
 
-def run_cli(command: str) -> subprocess.CompletedProcess:
+def _prepare(command: str) -> tuple[list[str], dict]:
+    """Split one documented command into ``(argv, env)``.
+
+    Leading ``VAR=value`` words become environment entries, exactly as a
+    shell would treat them.  The remaining command must be the generic
+    CLI spelling; the test supplies the interpreter actually running the
+    suite and ``PYTHONPATH=src``.
+    """
     argv = shlex.split(command)
-    # The README shows the generic spelling; the test supplies the
-    # interpreter actually running the suite and PYTHONPATH=src.
-    assert argv[:3] == ["python", "-m", "repro.verifier.cli"], command
-    argv[0] = sys.executable
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    while argv and _ENV_PREFIX.match(argv[0]):
+        key, _, value = argv.pop(0).partition("=")
+        env[key] = value
+    assert argv[:3] == ["python", "-m", "repro.verifier.cli"], command
+    argv[0] = sys.executable
+    return argv, env
+
+
+def run_cli(command: str) -> subprocess.CompletedProcess:
+    argv, env = _prepare(command)
     return subprocess.run(
         argv, cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=300
     )
+
+
+def run_block(commands: list[str]) -> None:
+    """Execute one quickstart block, shell-style: ``&`` backgrounds.
+
+    Backgrounded processes must exit on their own by the end of the
+    block (the HTTP quickstart ends with a ``shutdown`` command); one
+    still running afterwards means the documented sequence does not
+    actually stop what it starts.
+    """
+    background: list[tuple[str, subprocess.Popen]] = []
+    try:
+        for command in commands:
+            if command.endswith("&"):
+                argv, env = _prepare(command.rstrip("&").strip())
+                background.append(
+                    (
+                        command,
+                        subprocess.Popen(
+                            argv,
+                            cwd=REPO_ROOT,
+                            env=env,
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE,
+                            text=True,
+                        ),
+                    )
+                )
+                continue
+            result = run_cli(command)
+            assert result.returncode == 0, (
+                f"README quickstart command failed: {command}\n"
+                f"stdout: {result.stdout}\nstderr: {result.stderr}"
+            )
+        for command, process in background:
+            try:
+                process.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                raise AssertionError(
+                    f"backgrounded quickstart command still running after "
+                    f"the block finished: {command}"
+                ) from None
+    finally:
+        for _, process in background:
+            if process.poll() is None:
+                process.kill()
+            process.communicate(timeout=30)
 
 
 def test_readme_quickstart_commands_execute():
@@ -66,15 +138,22 @@ def test_readme_quickstart_commands_execute():
     # The quickstart must exercise --help and a fast-class verify.
     assert any("--help" in command for command in commands)
     assert any("verify" in command for command in commands)
-    for command in commands:
-        result = run_cli(command)
-        assert result.returncode == 0, (
-            f"README quickstart command failed: {command}\n"
-            f"stdout: {result.stdout}\nstderr: {result.stderr}"
-        )
+    run_block(commands)
     # Spot-check the advertised outputs.
     listing = run_cli("python -m repro.verifier.cli list")
     assert "Linked List" in listing.stdout
+
+
+def test_readme_http_quickstart_executes():
+    """The 'Serve it over HTTP' block: daemon in the background, loadgen
+    and --connect against it, shutdown at the end."""
+    blocks = quickstart_blocks()
+    assert len(blocks) >= 2, "README lost its HTTP quickstart block"
+    commands = blocks[1]
+    assert any("serve" in command and command.endswith("&") for command in commands)
+    assert any("loadgen" in command for command in commands)
+    assert "shutdown" in commands[-1], "the block must stop what it starts"
+    run_block(commands)
 
 
 def test_readme_documents_every_cli_flag():

@@ -1,0 +1,234 @@
+"""Admission control: bounded queue, priority lanes, rate limits, tenancy.
+
+Exercises :mod:`repro.verifier.admission` directly (no sockets) plus the
+tenant-namespace mechanics of :class:`repro.provers.cache.ProofCache`.
+The daemon- and HTTP-level integration is covered by
+``test_daemon_concurrent.py`` and ``test_http.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro.logic import builder as b
+from repro.provers.cache import (
+    CachedVerdict,
+    ProofCache,
+    fingerprint_from_json,
+    fingerprint_to_json,
+    task_fingerprint,
+)
+from repro.provers.result import ProofTask
+from repro.verifier.admission import (
+    PRIORITY_LANES,
+    REJECTION_CODES,
+    AdmissionController,
+    TokenBucket,
+    rejection_response,
+)
+
+_WAIT = 5.0
+
+
+def _eventually(predicate, timeout=_WAIT):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestAdmit:
+    def test_fast_path_and_release(self):
+        controller = AdmissionController(queue_limit=4)
+        decision = controller.admit(client="a")
+        assert decision.admitted
+        assert controller.lock.locked()
+        assert controller.snapshot()["busy"] is True
+        controller.release()
+        assert controller.snapshot()["busy"] is False
+        assert controller.snapshot()["admitted"] == 1
+
+    def test_nowait_busy_rejection_is_structured(self):
+        controller = AdmissionController(queue_limit=4)
+        assert controller.admit().admitted
+        decision = controller.admit(nowait=True)
+        assert not decision.admitted
+        assert decision.code == "busy"
+        response = rejection_response(decision)
+        assert response["ok"] is False
+        assert response["busy"] is True
+        assert response["code"] == "busy"
+        assert response["retry_after"] > 0
+        assert "busy" in response["error"]
+        controller.release()
+
+    def test_queue_full_rejection(self):
+        controller = AdmissionController(queue_limit=1)
+        assert controller.admit().admitted
+        granted = threading.Event()
+
+        def waiter():
+            controller.admit()
+            granted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        assert _eventually(
+            lambda: controller.snapshot()["queued"]["interactive"] == 1
+        )
+        # The queue is full: the next request is rejected immediately,
+        # it does not block.
+        decision = controller.admit()
+        assert not decision.admitted
+        assert decision.code == "queue_full"
+        assert decision.retry_after > 0
+        assert controller.snapshot()["rejected"]["queue_full"] == 1
+        controller.release()
+        assert granted.wait(_WAIT)
+        controller.release()
+        thread.join(_WAIT)
+
+    def test_priority_lane_ordering_under_contention(self):
+        controller = AdmissionController(queue_limit=8)
+        assert controller.admit().admitted
+        order: list[str] = []
+        done: list[threading.Thread] = []
+
+        def waiter(lane: str):
+            controller.admit(priority=lane)
+            order.append(lane)
+            controller.release()
+
+        # The batch request queues FIRST; the interactive one arrives
+        # later and must still be served first.
+        for lane in ("batch", "interactive"):
+            thread = threading.Thread(target=waiter, args=(lane,), daemon=True)
+            thread.start()
+            done.append(thread)
+            assert _eventually(
+                lambda lane=lane: controller.snapshot()["queued"][lane] == 1
+            )
+        controller.release()
+        for thread in done:
+            thread.join(_WAIT)
+        assert order == ["interactive", "batch"]
+
+    def test_direct_lock_users_cannot_strand_the_queue(self):
+        # Internal code (and older tests) grab the raw engine lock
+        # without going through admit(); queued waiters must still make
+        # progress once it is released.
+        controller = AdmissionController(queue_limit=4)
+        assert controller.lock.acquire(blocking=False)
+        granted = threading.Event()
+
+        def waiter():
+            controller.admit()
+            granted.set()
+            controller.release()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        assert _eventually(
+            lambda: controller.snapshot()["queued"]["interactive"] == 1
+        )
+        controller.lock.release()  # raw release: no notify, poll must catch it
+        assert granted.wait(_WAIT)
+        thread.join(_WAIT)
+
+
+class TestRateLimit:
+    def test_refill_timing_with_fake_clock(self):
+        clock = [0.0]
+        controller = AdmissionController(
+            queue_limit=4, rate=1.0, burst=2.0, clock=lambda: clock[0]
+        )
+        for _ in range(2):  # the burst allowance
+            decision = controller.admit(client="alice")
+            assert decision.admitted
+            controller.release()
+        decision = controller.admit(client="alice")
+        assert not decision.admitted
+        assert decision.code == "rate_limited"
+        assert decision.retry_after == 1.0  # (1 - 0 tokens) / 1 per second
+        # Other clients have their own buckets.
+        other = controller.admit(client="bob")
+        assert other.admitted
+        controller.release()
+        # Half a token refilled: still rejected, but sooner.
+        clock[0] = 0.5
+        decision = controller.admit(client="alice")
+        assert decision.code == "rate_limited"
+        assert abs(decision.retry_after - 0.5) < 1e-9
+        clock[0] = 1.0
+        assert controller.admit(client="alice").admitted
+        controller.release()
+        snapshot = controller.snapshot()
+        assert snapshot["rejected"]["rate_limited"] == 2
+        assert "alice" in snapshot["clients"]
+
+    def test_token_bucket_caps_at_burst(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=lambda: clock[0])
+        clock[0] = 100.0  # a long idle period must not bank > burst tokens
+        for _ in range(3):
+            assert bucket.take() == 0.0
+        assert bucket.take() > 0.0
+
+
+class TestRejectionShape:
+    def test_codes_are_the_documented_set(self):
+        assert set(REJECTION_CODES) == {"busy", "queue_full", "rate_limited"}
+        assert PRIORITY_LANES == ("interactive", "batch")
+
+
+def _task() -> ProofTask:
+    return ProofTask(
+        (("h", b.Lt(b.IntVar("x"), b.IntVar("y"))),),
+        b.Lt(b.IntVar("x"), b.IntVar("y")),
+    )
+
+
+class TestTenantNamespaces:
+    def test_isolation_between_tenants(self):
+        cache = ProofCache()
+        task = _task()
+        verdict = CachedVerdict(proved=True, refuted=False, winning_prover="smt")
+        cache.namespace = "alice"
+        cache.store(cache.key(task), verdict)
+        assert cache.lookup(cache.key(task)) is verdict
+        # Neither another tenant nor the anonymous namespace sees it.
+        cache.namespace = "bob"
+        assert cache.lookup(cache.key(task)) is None
+        cache.namespace = ""
+        assert cache.lookup(cache.key(task)) is None
+
+    def test_anonymous_namespace_is_the_legacy_key(self):
+        cache = ProofCache()
+        task = _task()
+        assert cache.key(task) == task_fingerprint(task)
+
+    def test_namespaced_key_round_trips_the_store_encoding(self):
+        # Tenant keys must survive the persistent store's JSON encoding
+        # exactly, or a warm restart would leak verdicts across tenants.
+        cache = ProofCache()
+        cache.namespace = "alice"
+        key = cache.key(_task())
+        encoded = json.loads(json.dumps(fingerprint_to_json(key)))
+        assert fingerprint_from_json(encoded) == key
+
+    def test_engine_bracketing(self):
+        from repro.verifier.engine import VerificationEngine
+
+        engine = VerificationEngine(use_proof_cache=True, persist=False)
+        try:
+            cache = engine.portfolio.proof_cache
+            engine.set_cache_namespace("alice")
+            assert cache.namespace == "alice"
+            engine.set_cache_namespace("")
+            assert cache.namespace == ""
+        finally:
+            engine.close()

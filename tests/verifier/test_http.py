@@ -1,0 +1,254 @@
+"""HTTP front door, end to end against a live daemon.
+
+One daemon fixture serves a real :class:`VerifierDaemon` with the HTTP
+listener enabled; the tests drive it through :class:`HttpApiClient`
+exactly like an external caller would: authentication failures, routing
+errors, verify round-trips (bit-identical to a direct ``handle`` call),
+structured 429 rejections with a ``Retry-After`` header, and tenant
+identity flowing from the signed ``X-Jahob-Client`` header into the
+admission snapshot.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+
+import pytest
+
+from repro.verifier.daemon import PROTOCOL_VERSION, VerifierDaemon
+from repro.verifier.http import (
+    ROUTES,
+    HttpApiClient,
+    HttpApiError,
+    sign_request,
+)
+
+TIMEOUT_SCALE = 0.4
+SECRET = b"http-front-door-test-secret"
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("http-door")
+    daemon = VerifierDaemon(
+        tmp_path / "jahob.sock",
+        http="127.0.0.1:0",
+        cache_dir=tmp_path / "cache",
+        timeout_scale=TIMEOUT_SCALE,
+        secret=SECRET,
+        queue_limit=4,
+    )
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    client = HttpApiClient(_wait_address(daemon), SECRET, client_id="pytest")
+    client.wait_ready()
+    yield daemon, client
+    daemon.stop()
+    thread.join(timeout=10.0)
+
+
+def _wait_address(daemon: VerifierDaemon) -> str:
+    # serve_forever binds on its thread; poll until :0 is resolved.
+    import time
+
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        door = daemon.http_door
+        if door is not None and not door.address.endswith(":0"):
+            return door.address
+        time.sleep(0.02)
+    raise AssertionError("HTTP door never bound")
+
+
+class TestRoutingAndAuth:
+    def test_ping_round_trip(self, served):
+        _, client = served
+        status, response = client.request("GET", "/v1/ping")
+        assert status == 200
+        assert response["ok"]
+        assert response["protocol"] == PROTOCOL_VERSION
+
+    def test_structures_lists_the_catalogue(self, served):
+        _, client = served
+        status, response = client.request("GET", "/v1/structures")
+        assert status == 200
+        assert "Linked List" in response["structures"]
+
+    def test_wrong_secret_is_401_for_every_route(self, served):
+        daemon, client = served
+        impostor = HttpApiClient(
+            f"{client.host}:{client.port}", b"wrong-secret", client_id="pytest"
+        )
+        for route in ROUTES:
+            status, response = impostor.request(route.method, route.path)
+            assert status == 401, route.path
+            assert response["ok"] is False
+            assert "signature" in response["error"]
+
+    def test_tampered_client_id_breaks_the_signature(self, served):
+        # The signature covers the client id: signing as one identity and
+        # claiming another must 401 (identity is what keys rate limits
+        # and tenant namespaces).
+        import http.client as hc
+
+        daemon, client = served
+        body = b""
+        headers = {
+            "X-Jahob-Client": "mallory",
+            "X-Jahob-Signature": sign_request(
+                SECRET, "alice", "GET", "/v1/ping", body
+            ),
+        }
+        connection = hc.HTTPConnection(client.host, client.port, timeout=10.0)
+        try:
+            connection.request("GET", "/v1/ping", body=body, headers=headers)
+            assert connection.getresponse().status == 401
+        finally:
+            connection.close()
+
+    def test_unknown_path_is_404(self, served):
+        _, client = served
+        status, response = client.request("GET", "/v2/ping")
+        assert status == 404
+        assert response["ok"] is False
+
+    def test_wrong_method_is_405(self, served):
+        _, client = served
+        status, response = client.request("POST", "/v1/ping")
+        assert status == 405
+        assert "GET" in response["error"]
+
+    def test_malformed_json_body_is_400(self, served):
+        import http.client as hc
+
+        _, client = served
+        body = b"{not json"
+        headers = {
+            "X-Jahob-Client": "pytest",
+            "X-Jahob-Signature": sign_request(
+                SECRET, "pytest", "POST", "/v1/verify", body
+            ),
+        }
+        connection = hc.HTTPConnection(client.host, client.port, timeout=10.0)
+        try:
+            connection.request("POST", "/v1/verify", body=body, headers=headers)
+            raw = connection.getresponse()
+            assert raw.status == 400
+            raw.read()
+        finally:
+            connection.close()
+
+    def test_socket_only_ops_are_not_routed(self, served):
+        _, client = served
+        for path in ("/v1/table1", "/v1/shutdown"):
+            status, _ = client.request("POST", path)
+            assert status == 404
+
+
+class TestVerifyOverHttp:
+    def test_verify_matches_direct_handle(self, served):
+        daemon, client = served
+        status, over_http = client.request(
+            "POST", "/v1/verify", {"name": "Linked List"}
+        )
+        assert status == 200
+        assert over_http["ok"]
+        assert over_http["exit"] == 0
+        direct = daemon.handle({"op": "verify", "name": "Linked List"})
+        # Identical verdict and rendering across transports, up to the
+        # wall-clock timings embedded in the output text (the two runs
+        # are separate verifications in separate tenant namespaces).
+        assert over_http["exit"] == direct["exit"]
+        http_report = dict(over_http["report"], elapsed=None)
+        assert http_report == dict(direct["report"], elapsed=None)
+        normalize = re.compile(r"\d+\.\d+s").sub
+        assert normalize("_s", over_http["output"]) == normalize(
+            "_s", direct["output"]
+        )
+
+    def test_verification_failure_is_still_http_200(self, served):
+        _, client = served
+        status, response = client.request(
+            "POST", "/v1/verify", {"name": "No Such Structure"}
+        )
+        assert status == 200
+        assert response["ok"] is False
+        assert "busy" not in response
+
+    def test_metrics_shows_the_admission_snapshot(self, served):
+        _, client = served
+        status, response = client.request("GET", "/v1/metrics")
+        assert status == 200
+        admission = response["admission"]
+        assert admission["queue_limit"] == 4
+        assert admission["admitted"] >= 1
+        # The signed identity shows up as the rate-limit/tenant key.
+        assert set(admission["queued"]) == {"interactive", "batch"}
+
+
+class TestBackpressure:
+    def test_nowait_while_busy_is_structured_429(self, served):
+        daemon, client = served
+        assert daemon.admission.lock.acquire(timeout=5.0)
+        try:
+            status, response = client.request(
+                "POST", "/v1/verify", {"name": "Linked List", "nowait": True}
+            )
+        finally:
+            daemon.admission.lock.release()
+        assert status == 429
+        assert response["ok"] is False
+        assert response["busy"] is True
+        assert response["code"] == "busy"
+        assert response["retry_after"] > 0
+
+    def test_retry_after_header_is_integer_seconds(self, served):
+        import http.client as hc
+
+        daemon, client = served
+        body = b'{"name":"Linked List","nowait":true}'
+        headers = {
+            "X-Jahob-Client": "pytest",
+            "X-Jahob-Signature": sign_request(
+                SECRET, "pytest", "POST", "/v1/verify", body
+            ),
+            "Content-Type": "application/json",
+        }
+        assert daemon.admission.lock.acquire(timeout=5.0)
+        try:
+            connection = hc.HTTPConnection(client.host, client.port, timeout=10.0)
+            try:
+                connection.request("POST", "/v1/verify", body=body, headers=headers)
+                raw = connection.getresponse()
+                assert raw.status == 429
+                retry_after = raw.getheader("Retry-After")
+                raw.read()
+            finally:
+                connection.close()
+        finally:
+            daemon.admission.lock.release()
+        assert retry_after is not None
+        assert int(retry_after) >= 1
+
+    def test_lockfree_ops_answer_while_engine_is_held(self, served):
+        daemon, client = served
+        assert daemon.admission.lock.acquire(timeout=5.0)
+        try:
+            for path in ("/v1/ping", "/v1/stats", "/v1/metrics"):
+                status, response = client.request("GET", path)
+                assert status == 200, path
+                assert response["ok"]
+        finally:
+            daemon.admission.lock.release()
+
+
+class TestClientPlumbing:
+    def test_transport_failure_raises_api_error(self):
+        client = HttpApiClient("127.0.0.1:1", SECRET, timeout=0.5)
+        with pytest.raises(HttpApiError):
+            client.request("GET", "/v1/ping")
+
+    def test_rejects_non_tcp_addresses(self, tmp_path):
+        with pytest.raises(HttpApiError):
+            HttpApiClient(str(tmp_path / "door.sock"), SECRET)
