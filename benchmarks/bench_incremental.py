@@ -1,0 +1,208 @@
+"""Benchmark E4: single-edit incremental re-verification latency.
+
+The watch-mode promise is that editing one method re-proves only the
+sequents the edit invalidated.  This benchmark measures exactly that
+workload: verify a class, apply a one-method edit (a new postcondition
+conjunct), and compare a **cold** full re-run of the edited class on a
+fresh engine against the **incremental** re-run on the warm engine's
+dependency index.
+
+Runnable as a script in **smoke mode** -- ``python
+benchmarks/bench_incremental.py --smoke --json out.json`` -- which writes
+a small JSON record (cold vs incremental wall time, the dirty/clean
+accounting, and the speedup).  The CI tier-1 job runs exactly this and
+uploads the JSON next to the bench-smoke artifact, so the incremental
+latency trajectory is recorded per commit.  The smoke gate requires the
+speedup to stay >= 10x (measured ~30-60x on the reference container).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import TIMEOUT_SCALE
+from repro.provers.dispatch import default_portfolio
+from repro.suite.common import StructureBuilder
+from repro.verifier.engine import VerificationEngine
+
+#: The smoke gate: a one-method edit must re-verify at least this much
+#: faster than a cold full run of the same class.
+MIN_SPEEDUP = 10.0
+
+BASE_ENSURES = "value = 0"
+EDITED_ENSURES = "value = 0 & 0 in history"
+
+
+def build_counter(reset_ensures: str = BASE_ENSURES):
+    """The quickstart counter, with ``reset``'s postcondition swappable
+    (both variants are provable; they differ in exactly one sequent
+    fingerprint)."""
+    s = StructureBuilder("Counter")
+    s.concrete("value", "int")
+    s.concrete("limit", "int")
+    s.ghost("history", "int set")
+    s.invariant("InRange", "0 <= value & value <= limit")
+    s.invariant("Recorded", "value in history")
+    m = s.method(
+        "increment",
+        requires="value < limit",
+        modifies="value, history",
+        ensures="value = old value + 1 & old value in history",
+    )
+    m.assign("value", "value + 1")
+    m.ghost_assign("history", "history Un {value}")
+    m.done()
+    m = s.method(
+        "reset",
+        requires="0 <= limit",
+        modifies="value, history",
+        ensures=reset_ensures,
+    )
+    m.assign("value", "0")
+    m.ghost_assign("history", "history Un {0}")
+    m.done()
+    return s.build()
+
+
+def fresh_engine(jobs: int = 1) -> VerificationEngine:
+    return VerificationEngine(
+        default_portfolio().scaled(TIMEOUT_SCALE), jobs=jobs
+    )
+
+
+def run_edit_cycle(jobs: int = 1):
+    """One measured edit cycle.
+
+    Returns ``(cold_wall, incremental_wall, incremental_stats,
+    cold_report, incremental_report)``: the cold wall is a full verify of
+    the edited class on a fresh engine, the incremental wall is the same
+    class on an engine whose dependency index is warm from the base
+    variant.
+    """
+    warm = fresh_engine(jobs)
+    warm.verify_class(build_counter())
+    edited = build_counter(EDITED_ENSURES)
+
+    start = time.monotonic()
+    cold_report = fresh_engine(jobs).verify_class(edited)
+    cold_wall = time.monotonic() - start
+
+    start = time.monotonic()
+    incremental_report, stats = warm.verify_class_incremental(edited)
+    incremental_wall = time.monotonic() - start
+    return cold_wall, incremental_wall, stats, cold_report, incremental_report
+
+
+def test_incremental_edit_cycle(benchmark):
+    """Benchmark the incremental half of the edit cycle and assert the
+    verdict differential the tier-1 tests pin down."""
+    engine = fresh_engine()
+    engine.verify_class(build_counter())
+    edited = build_counter(EDITED_ENSURES)
+
+    def reverify():
+        return engine.verify_class_incremental(edited)
+
+    report, stats = benchmark.pedantic(reverify, rounds=1, iterations=1)
+    benchmark.extra_info["dispatched"] = stats.dispatched
+    benchmark.extra_info["sequents_clean"] = stats.sequents_clean
+    benchmark.extra_info["sequents_dirty"] = stats.sequents_dirty
+    assert report.verified
+    assert stats.dispatched == stats.sequents_dirty == 1
+
+
+@pytest.mark.parametrize("jobs", [1])
+def test_incremental_speedup(jobs, benchmark):
+    """Cold full re-run vs incremental re-run, as one benchmark row."""
+
+    def cycle():
+        return run_edit_cycle(jobs=jobs)
+
+    cold, incremental, stats, cold_report, inc_report = benchmark.pedantic(
+        cycle, rounds=1, iterations=1
+    )
+    benchmark.extra_info["cold_wall"] = round(cold, 4)
+    benchmark.extra_info["incremental_wall"] = round(incremental, 4)
+    assert cold_report.verified and inc_report.verified
+    assert stats.dispatched < cold_report.sequents_total
+
+
+def run_smoke(jobs: int = 1) -> dict:
+    """One edit cycle, summarized as a JSON-ready dict (the CI artifact)."""
+    cold, incremental, stats, cold_report, inc_report = run_edit_cycle(jobs)
+    speedup = cold / incremental if incremental > 0 else float("inf")
+    return {
+        "mode": "smoke",
+        "jobs": jobs,
+        "timeout_scale": TIMEOUT_SCALE,
+        "workload": {
+            "class": "Counter",
+            "edit": f"reset ensures: {BASE_ENSURES!r} -> {EDITED_ENSURES!r}",
+        },
+        "cold": {
+            "wall_seconds": round(cold, 4),
+            "sequents_total": cold_report.sequents_total,
+            "sequents_proved": cold_report.sequents_proved,
+            "verified": cold_report.verified,
+        },
+        "incremental": {
+            "wall_seconds": round(incremental, 4),
+            "sequents_total": stats.sequents_total,
+            "sequents_clean": stats.sequents_clean,
+            "sequents_dirty": stats.sequents_dirty,
+            "dispatched": stats.dispatched,
+            "methods_skipped": stats.methods_skipped,
+            "dirty_labels": list(stats.dirty_labels),
+            "verified": inc_report.verified,
+        },
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+    }
+
+
+def main(argv=None) -> int:
+    """Script entry: ``--smoke`` (required) plus ``--json PATH``.
+
+    Exit status gates the CI step: non-zero when a verdict regressed or
+    the single-edit re-verify latency fell below the 10x speedup floor.
+    """
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the single-edit incremental smoke benchmark",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1)"
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", help="write the record here"
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("only --smoke mode is scriptable; use pytest for the rest")
+    record = run_smoke(jobs=args.jobs)
+    text = json.dumps(record, indent=2, sort_keys=True)
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(text + "\n", encoding="utf-8")
+    print(text)
+    if not (record["cold"]["verified"] and record["incremental"]["verified"]):
+        return 1
+    if record["incremental"]["dispatched"] >= record["cold"]["sequents_total"]:
+        return 1
+    if record["speedup"] < MIN_SPEEDUP:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    import sys
+
+    sys.exit(main())

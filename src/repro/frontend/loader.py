@@ -25,8 +25,10 @@ classes in the same order.
 
 from __future__ import annotations
 
+import hashlib
 import importlib.util
 import inspect
+import itertools
 import sys
 from pathlib import Path
 
@@ -39,18 +41,27 @@ class ProgramLoadError(Exception):
     """The file could not be loaded or exports no class models."""
 
 
+#: Monotonic per-process load counter: every import gets a module name of
+#: its own, so repeated loads of the same path (watch mode re-ingests a
+#: file on every save) and concurrent loads from daemon request threads
+#: never collide in ``sys.modules``.  ``itertools.count`` is atomic under
+#: the GIL, so no lock is needed.
+_LOAD_COUNTER = itertools.count()
+
+
 def _import_file(path: Path):
-    """Import ``path`` as an anonymous module (not registered by name,
-    so loading ``a/model.py`` and ``b/model.py`` never collide)."""
-    spec = importlib.util.spec_from_file_location(
-        f"_jahob_program_{abs(hash(str(path)))}", path
-    )
+    """Import ``path`` as an anonymous module (not registered by a
+    path-derived name alone, so loading ``a/model.py`` and ``b/model.py``
+    -- or the same file twice -- never collide)."""
+    digest = hashlib.sha1(str(path).encode("utf-8")).hexdigest()[:12]
+    name = f"_jahob_program_{digest}_{next(_LOAD_COUNTER)}"
+    spec = importlib.util.spec_from_file_location(name, path)
     if spec is None or spec.loader is None:
         raise ProgramLoadError(f"cannot import {path}")
     module = importlib.util.module_from_spec(spec)
     # Visible under its anonymous name while executing so dataclasses /
     # pickling inside the file resolve their defining module.
-    sys.modules[spec.name] = module
+    sys.modules[name] = module
     try:
         spec.loader.exec_module(module)
     except ProgramLoadError:
@@ -58,7 +69,10 @@ def _import_file(path: Path):
     except Exception as exc:
         raise ProgramLoadError(f"error executing {path}: {exc}") from exc
     finally:
-        sys.modules.pop(spec.name, None)
+        # Pop only our own entry: a concurrent load of the same path owns
+        # a different name, and an unrelated module must never be evicted.
+        if sys.modules.get(name) is module:
+            del sys.modules[name]
     return module
 
 

@@ -60,8 +60,11 @@ FINGERPRINT_VERSION = 1
 #: Bump whenever the on-disk JSON layout of :class:`PersistentCacheStore`
 #: changes incompatibly.  Version 2 added measured per-sequent prover
 #: timings (``wall`` / ``cpu``) to every entry and the per-class
-#: ``profiles`` section; version-1 stores cold-start cleanly.
-CACHE_FORMAT_VERSION = 2
+#: ``profiles`` section; version 3 added the per-class ``dependencies``
+#: section (the incremental-verification dependency index mapping source
+#: artifacts to the fingerprints they produce); older stores cold-start
+#: cleanly.
+CACHE_FORMAT_VERSION = 3
 
 
 # Bound variables are numbered by *relative* de Bruijn index (distance from
@@ -204,7 +207,15 @@ class ProofCache:
         return len(self._entries)
 
     def key(self, task: ProofTask) -> tuple:
-        fingerprint = task_fingerprint(task)
+        return self.key_for_fingerprint(task_fingerprint(task))
+
+    def key_for_fingerprint(self, fingerprint: tuple) -> tuple:
+        """The cache key for a raw (tenant-free) task fingerprint.
+
+        The dependency index (:mod:`repro.verifier.incremental`) stores raw
+        fingerprints so one index serves every tenant; resolving a verdict
+        for the active tenant goes through this, exactly like :meth:`key`.
+        """
         if self.namespace:
             return (("tenant", self.namespace), *fingerprint)
         return fingerprint
@@ -324,6 +335,11 @@ class PersistentCacheStore:
         #: (JSON-ready ``{class: {"wall", "cpu", "sequents"}}``; empty on
         #: a cold start).  Consumed by the engine's cost model.
         self.last_profiles: dict[str, dict] = {}
+        #: The per-class dependency index of the last :meth:`load`
+        #: (JSON-ready, see ``docs/cache-format.md``; empty on a cold
+        #: start).  Consumed by
+        #: :class:`repro.verifier.incremental.DependencyIndex`.
+        self.last_dependencies: dict[str, dict] = {}
 
     # -- reading -----------------------------------------------------------------
 
@@ -333,38 +349,41 @@ class PersistentCacheStore:
         The per-class cost profiles that rode along are exposed as
         :attr:`last_profiles` afterwards.
         """
-        entries, profiles, status = self._read()
+        entries, profiles, dependencies, status = self._read()
         self.last_load_status = status
         self.last_profiles = profiles
+        self.last_dependencies = dependencies
         return entries
 
-    def _read(self) -> tuple[dict[tuple, CachedVerdict], dict[str, dict], str]:
+    def _read(
+        self,
+    ) -> tuple[dict[tuple, CachedVerdict], dict[str, dict], dict[str, dict], str]:
         try:
             raw = self.path.read_text(encoding="utf-8")
         except (FileNotFoundError, NotADirectoryError):
-            return {}, {}, "cold:missing"
+            return {}, {}, {}, "cold:missing"
         except OSError:
-            return {}, {}, "cold:unreadable"
+            return {}, {}, {}, "cold:unreadable"
         return self._parse(raw)
 
     def _parse(
         self, raw: str
-    ) -> tuple[dict[tuple, CachedVerdict], dict[str, dict], str]:
+    ) -> tuple[dict[tuple, CachedVerdict], dict[str, dict], dict[str, dict], str]:
         try:
             payload = json.loads(raw)
         except (json.JSONDecodeError, ValueError):
-            return {}, {}, "cold:corrupt"
+            return {}, {}, {}, "cold:corrupt"
         if not isinstance(payload, dict):
-            return {}, {}, "cold:corrupt"
+            return {}, {}, {}, "cold:corrupt"
         if payload.get("format") != CACHE_FORMAT_VERSION:
-            return {}, {}, "cold:format-mismatch"
+            return {}, {}, {}, "cold:format-mismatch"
         if payload.get("fingerprint_version") != FINGERPRINT_VERSION:
-            return {}, {}, "cold:fingerprint-mismatch"
+            return {}, {}, {}, "cold:fingerprint-mismatch"
         if payload.get("portfolio") != self.portfolio_key:
-            return {}, {}, "cold:portfolio-mismatch"
+            return {}, {}, {}, "cold:portfolio-mismatch"
         raw_entries = payload.get("entries")
         if not isinstance(raw_entries, list):
-            return {}, {}, "cold:corrupt"
+            return {}, {}, {}, "cold:corrupt"
         entries: dict[tuple, CachedVerdict] = {}
         for pair in raw_entries:
             try:
@@ -384,7 +403,8 @@ class PersistentCacheStore:
                 # Skip individually damaged entries; keep the rest.
                 continue
         profiles = self._parse_profiles(payload.get("profiles"))
-        return entries, profiles, f"warm:{len(entries)}"
+        dependencies = self._parse_dependencies(payload.get("dependencies"))
+        return entries, profiles, dependencies, f"warm:{len(entries)}"
 
     @staticmethod
     def _parse_profiles(raw_profiles) -> dict[str, dict]:
@@ -404,6 +424,49 @@ class PersistentCacheStore:
                 continue
         return profiles
 
+    @staticmethod
+    def _parse_dependencies(raw_dependencies) -> dict[str, dict]:
+        """Validate the per-class dependency-index section.
+
+        The store only checks the JSON *shape* (string artifact digests, a
+        list of per-method records each carrying ``[label, fingerprint]``
+        sequent pairs); semantic interpretation lives in
+        :class:`repro.verifier.incremental.DependencyIndex`, which decodes
+        the fingerprints.  Damaged classes are skipped, like damaged
+        entries.
+        """
+        if not isinstance(raw_dependencies, dict):
+            return {}
+        dependencies: dict[str, dict] = {}
+        for name, record in raw_dependencies.items():
+            try:
+                artifacts = {
+                    str(key): str(value)
+                    for key, value in record["artifacts"].items()
+                }
+                methods = []
+                for method_name, method_record in record["methods"]:
+                    sequents = [
+                        [str(label), fingerprint_to_json(fingerprint_from_json(fp))]
+                        for label, fp in method_record["sequents"]
+                    ]
+                    methods.append(
+                        [
+                            str(method_name),
+                            {
+                                "digest": str(method_record["digest"]),
+                                "sequents": sequents,
+                            },
+                        ]
+                    )
+                dependencies[str(name)] = {
+                    "artifacts": artifacts,
+                    "methods": methods,
+                }
+            except (ValueError, KeyError, TypeError):
+                continue
+        return dependencies
+
     # -- writing -----------------------------------------------------------------
 
     def save(
@@ -411,6 +474,7 @@ class PersistentCacheStore:
         entries: dict[tuple, CachedVerdict],
         merge: bool = True,
         profiles: dict[str, dict] | None = None,
+        dependencies: dict[str, dict] | None = None,
     ) -> int:
         """Atomically write ``entries``; returns the number persisted.
 
@@ -419,11 +483,13 @@ class PersistentCacheStore:
         partial runs accumulate instead of clobbering each other.
         ``profiles`` optionally carries the per-class measured cost
         profiles to persist alongside (merged per class name, new data
+        winning); ``dependencies`` likewise carries the JSON-ready
+        per-class dependency index (merged per class name, new data
         winning).
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         with self._write_lock():
-            return self._save_locked(entries, merge, profiles)
+            return self._save_locked(entries, merge, profiles, dependencies)
 
     @contextlib.contextmanager
     def _write_lock(self):
@@ -443,16 +509,21 @@ class PersistentCacheStore:
         entries: dict[tuple, CachedVerdict],
         merge: bool,
         profiles: dict[str, dict] | None = None,
+        dependencies: dict[str, dict] | None = None,
     ) -> int:
         combined: dict[tuple, CachedVerdict] = {}
         combined_profiles: dict[str, dict] = {}
+        combined_dependencies: dict[str, dict] = {}
         if merge:
-            disk_entries, disk_profiles, _ = self._read()
+            disk_entries, disk_profiles, disk_dependencies, _ = self._read()
             combined.update(disk_entries)
             combined_profiles.update(disk_profiles)
+            combined_dependencies.update(disk_dependencies)
         combined.update(entries)
         if profiles:
             combined_profiles.update(profiles)
+        if dependencies:
+            combined_dependencies.update(dependencies)
         if len(combined) > self.max_entries:
             # Dict order is insertion order: disk entries came first, so
             # dropping from the front keeps the newest verdicts.
@@ -464,6 +535,7 @@ class PersistentCacheStore:
             "fingerprint_version": FINGERPRINT_VERSION,
             "portfolio": self.portfolio_key,
             "profiles": combined_profiles,
+            "dependencies": combined_dependencies,
             "entries": [
                 [
                     fingerprint_to_json(key),

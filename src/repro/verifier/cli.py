@@ -9,6 +9,11 @@ Subcommands::
                                   standalone Python file (MODEL/MODELS,
                                   module-level ClassModels, or zero-arg
                                   build* functions; see repro.frontend.loader)
+    jahob-py verify <file.py> --watch
+                                  keep verifying the file as it changes:
+                                  stream incremental verdicts, re-proving
+                                  only the sequents each edit invalidated
+                                  (self-hosts a daemon, or --connect)
     jahob-py table1               regenerate Table 1 (suite-scheduled when
                                   --jobs > 1; see --schedule)
     jahob-py table2               regenerate Table 2 (slow: verifies twice)
@@ -187,6 +192,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-proofs",
         action="store_true",
         help="strip the integrated proof language constructs first",
+    )
+    verify.add_argument(
+        "--watch",
+        action="store_true",
+        help="keep verifying the file as it changes: stream incremental "
+        "verdicts, re-proving only the sequents each edit invalidated "
+        "(file operand only; works locally or with --connect)",
+    )
+    verify.add_argument(
+        "--watch-max",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --watch: exit after N verification events (the first "
+        "fires immediately as the baseline)",
     )
     subparsers.add_parser("table1", help="regenerate Table 1")
     subparsers.add_parser("table2", help="regenerate Table 2")
@@ -431,6 +451,15 @@ def _run_connected(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
         print(f"cannot read --secret-file: {exc}", file=sys.stderr)
         return 2
     client = DaemonClient(args.connect, secret=secret, client_id=args.client)
+    if args.command == "verify" and args.watch:
+        if not _is_program_path(args.name):
+            print(
+                "--watch requires a file operand "
+                "(catalogue classes do not change on disk)",
+                file=sys.stderr,
+            )
+            return 2
+        return _stream_watch(client, args)
     if args.command == "list":
         request = {"op": "list"}
     elif args.command == "verify" and _is_program_path(args.name):
@@ -476,6 +505,93 @@ def _run_connected(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
         return 0
     print(response["output"])
     return int(response.get("exit", 0))
+
+
+def _stream_watch(client, args: argparse.Namespace) -> int:
+    """Stream one ``watch`` subscription to the terminal.
+
+    Exit status follows the *latest* verdict event (the file may go red
+    and green again over the subscription's lifetime); ctrl-C unsubscribes
+    cleanly.
+    """
+    from .daemon import DaemonError
+    from .report import format_watch_event
+
+    payload: dict = {"path": os.path.abspath(args.name)}
+    if args.watch_max is not None:
+        payload["max_events"] = args.watch_max
+    if args.priority != "interactive":
+        payload["priority"] = args.priority
+    verified = True
+    try:
+        for event in client.watch(payload):
+            print(format_watch_event(event), flush=True)
+            if isinstance(event, dict):
+                if "event" not in event and not event.get("ok", True):
+                    return 2
+                if event.get("event") == "verdicts":
+                    verified = bool(event.get("verified"))
+    except KeyboardInterrupt:
+        pass
+    except DaemonError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0 if verified else 1
+
+
+def _run_watch_local(args: argparse.Namespace, engine: VerificationEngine) -> int:
+    """``verify FILE --watch`` without ``--connect``.
+
+    Watch mode is daemon-native (the subscription protocol lives on the
+    socket -- see docs/service-api.md), so the local spelling self-hosts a
+    private daemon around the already-built engine on a temporary unix
+    socket for the duration of the subscription.
+    """
+    import tempfile
+    import threading
+    import time
+
+    from .daemon import DaemonClient, DaemonError, VerifierDaemon
+
+    if not _is_program_path(args.name):
+        print(
+            "--watch requires a file operand "
+            "(catalogue classes do not change on disk)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.no_proofs:
+        print(
+            "warning: --no-proofs ignored with --watch "
+            "(watch always verifies the full proof language)",
+            file=sys.stderr,
+        )
+    with tempfile.TemporaryDirectory(prefix="jahob-watch-") as tmp:
+        daemon = VerifierDaemon(os.path.join(tmp, "watch.sock"), engine=engine)
+        try:
+            daemon.bind()
+        except DaemonError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+        thread.start()
+        client = DaemonClient(daemon.socket_path)
+        deadline = time.monotonic() + 5.0
+        while True:
+            try:
+                client.ping()
+                break
+            except DaemonError:
+                if time.monotonic() > deadline:
+                    print("watch daemon did not come up", file=sys.stderr)
+                    return 2
+                time.sleep(0.02)
+        try:
+            return _stream_watch(client, args)
+        finally:
+            daemon.stop()
+            thread.join(timeout=10.0)
+            daemon.close()
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -672,6 +788,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "verify":
+        if args.watch:
+            return _run_watch_local(args, engine)
         if _is_program_path(args.name):
             from ..frontend.loader import ProgramLoadError, load_class_models
 

@@ -190,9 +190,15 @@ class CostModel:
             return
         rebuilt = ClassCostProfile(wall=wall, cpu=cpu, sequents=measured)
         current = self.profiles.get(class_name)
-        if current is None or (
-            (current.wall, current.cpu, current.sequents)
-            != (rebuilt.wall, rebuilt.cpu, rebuilt.sequents)
+        # Persisted per-sequent timings are rounded (6 decimals), so a
+        # load-then-reprofile rebuilds sums that differ from the stored
+        # profile by up to the rounding quantum per sequent.  Treating
+        # that as a change would mark every fully-warm run dirty and
+        # re-save the whole store for nothing.
+        tolerance = 1e-6 * measured
+        if current is None or current.sequents != rebuilt.sequents or (
+            abs(current.wall - rebuilt.wall) > tolerance
+            or abs(current.cpu - rebuilt.cpu) > tolerance
         ):
             self.profiles[class_name] = rebuilt
             self.mutations += 1

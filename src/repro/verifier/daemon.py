@@ -40,8 +40,18 @@ Supported ``"op"`` values:
 ``stats``     engine counters (:meth:`PerformanceCounters.as_dict`)
 ``metrics``   scheduling observability: per-worker answer-latency
               histograms, per-class measured cost profiles, cache-hit
-              provenance and the last suite run's schedule plan
-``shutdown``  flush the persistent cache and stop the server
+              provenance, watch-mode latency and the last suite run's
+              schedule plan
+``watch``     ``{"path": ..., "interval": ..?, "max_events": ..?}`` --
+              subscribe to a program file: the daemon polls its content,
+              re-verifies **incrementally** on every change
+              (:mod:`repro.verifier.incremental`) and streams one
+              ``verdicts`` event per change over the same connection --
+              the one op that breaks the one-request/one-response rule,
+              which is why it exists on the socket transports only (the
+              HTTP front door deliberately does not route it)
+``shutdown``  flush the persistent cache and stop the server (open watch
+              subscriptions are closed cleanly first)
 ============  =========================================================
 
 Requests are served **concurrently**: every accepted connection gets its
@@ -80,7 +90,9 @@ are textually identical to local ones.
 
 from __future__ import annotations
 
+import hashlib
 import os
+import select
 import socket
 import stat
 import threading
@@ -102,7 +114,7 @@ from .report import (
     format_verify_file,
     table1_rows,
 )
-from .stats import performance_counters
+from .stats import LatencyHistogram, performance_counters
 from .wire import (
     HandshakeError,
     LineChannel,
@@ -123,8 +135,10 @@ __all__ = ["PROTOCOL_VERSION", "DaemonError", "VerifierDaemon", "DaemonClient"]
 #: ``metrics`` op; version 4 added ``verify_file``; version 5 replaced the
 #: bare busy error with admission control (structured ``code`` /
 #: ``retry_after`` rejections, priority lanes, per-client rate limits and
-#: tenant cache namespaces) and added the HTTP front door.
-PROTOCOL_VERSION = 5
+#: tenant cache namespaces) and added the HTTP front door; version 6 added
+#: the streaming ``watch`` op (incremental re-verification of a subscribed
+#: file, many response events on one connection -- socket transports only).
+PROTOCOL_VERSION = 6
 
 #: Hard cap on one request line; a unix-socket peer is trusted, but a
 #: corrupt client must not make the daemon buffer without bound.
@@ -264,6 +278,15 @@ class VerifierDaemon:
         self.requests_served = 0
         self.started_at = time.monotonic()
         self._stopping = False
+        #: Set on stop()/close(): sleeping watch loops wake immediately so
+        #: shutdown never waits out a poll interval per subscription.
+        self._wake = threading.Event()
+        #: Watch-mode observability, surfaced by the ``metrics`` op:
+        #: subscription counts and the edit-to-verdict latency histogram.
+        self.watch_subscriptions = 0
+        self.watch_active = 0
+        self.watch_events = 0
+        self.watch_latency = LatencyHistogram()
         self._server: socket.socket | None = None
         self._bound = False  # whether *we* own the socket file
         self.admission = AdmissionController(
@@ -415,8 +438,14 @@ class VerifierDaemon:
             self.close()
 
     def stop(self) -> None:
-        """Ask the accept loop to exit after the in-flight request."""
+        """Ask the accept loop to exit after the in-flight request.
+
+        Waking the watch event first lets every open ``watch``
+        subscription send its ``closed`` event and hang up before the
+        shutdown join deadline, so no client is ever left blocked on a
+        read."""
         self._stopping = True
+        self._wake.set()
 
     def close(self) -> None:
         """Flush caches, close the warm pool, remove the socket file.
@@ -426,6 +455,7 @@ class VerifierDaemon:
         live daemon's address.
         """
         self._stopping = True
+        self._wake.set()
         # Unlink before closing the listening socket: the reverse order
         # has a window where a new daemon sees the probe refused, takes
         # over the path, and then loses its fresh socket file to our
@@ -488,12 +518,186 @@ class VerifierDaemon:
             else:
                 if request is None:
                     return  # clean hang-up before any request
+                if isinstance(request, dict) and request.get("op") == "watch":
+                    # The streaming op: many responses on one connection,
+                    # served entirely inside the subscription loop.
+                    self._serve_watch(channel, connection, request, client)
+                    return
                 response = self.handle(request, client=client)
             channel.send(response)
         except (OSError, WireError):
             # A client that hung up mid-request costs us nothing; the
             # daemon must outlive its clients.
             pass
+
+    # -- watch mode ---------------------------------------------------------------
+
+    @staticmethod
+    def _file_digest(path: str) -> str | None:
+        """Content digest of the watched file; ``None`` while unreadable
+        (e.g. the editor is mid-save with a temp-file rename)."""
+        try:
+            with open(path, "rb") as handle:
+                return hashlib.sha256(handle.read()).hexdigest()
+        except OSError:
+            return None
+
+    def _serve_watch(
+        self,
+        channel: LineChannel,
+        connection: socket.socket,
+        request: dict,
+        client: str | None,
+    ) -> None:
+        """Serve one ``watch`` subscription until the client hangs up, the
+        event budget is exhausted, or the daemon shuts down.
+
+        The first verification fires immediately (the subscriber wants a
+        baseline verdict), then the file's content digest is polled every
+        ``interval`` seconds and each change streams one incremental
+        ``verdicts`` event.  The subscription always ends with a
+        ``closed`` event carrying the reason, so clients never block on a
+        read that nothing will answer.
+        """
+        path = request.get("path")
+        if not isinstance(path, str):
+            channel.send({"ok": False, "error": "watch needs a 'path' string"})
+            return
+        path = os.path.abspath(path)
+        if not os.path.isfile(path):
+            channel.send({"ok": False, "error": f"watch: no such file: {path}"})
+            return
+        try:
+            interval = float(request.get("interval", 0.5))
+        except (TypeError, ValueError):
+            channel.send({"ok": False, "error": "watch: 'interval' must be a number"})
+            return
+        interval = min(max(interval, 0.05), 10.0)
+        max_events = request.get("max_events")
+        if max_events is not None:
+            try:
+                max_events = int(max_events)
+            except (TypeError, ValueError):
+                max_events = 0
+            if max_events <= 0:
+                channel.send(
+                    {"ok": False, "error": "watch: 'max_events' must be a positive int"}
+                )
+                return
+        priority = request.get("priority", "interactive")
+        if priority not in PRIORITY_LANES:
+            channel.send(
+                {
+                    "ok": False,
+                    "error": f"unknown priority {priority!r} "
+                    f"(expected one of {', '.join(PRIORITY_LANES)})",
+                }
+            )
+            return
+        client_id = client if client is not None else str(request.get("client") or "")
+        self.requests_served += 1
+        self.watch_subscriptions += 1
+        self.watch_active += 1
+        events = 0
+        reason = "client"
+        try:
+            channel.send(
+                {
+                    "ok": True,
+                    "event": "subscribed",
+                    "path": path,
+                    "interval": interval,
+                    "protocol": PROTOCOL_VERSION,
+                }
+            )
+            last_digest = None
+            while True:
+                if self._stopping:
+                    reason = "shutdown"
+                    break
+                digest = self._file_digest(path)
+                if digest is not None and digest != last_digest:
+                    last_digest = digest
+                    event = self._watch_verify(path, client_id, priority)
+                    events += 1
+                    event["generation"] = events
+                    channel.send(event)
+                    if max_events is not None and events >= max_events:
+                        reason = "max_events"
+                        break
+                # Any inbound byte ends the subscription: a clean client
+                # hang-up (EOF) and an explicit unsubscribe line look the
+                # same from here, and neither should keep the loop alive.
+                if select.select([connection], [], [], 0)[0]:
+                    reason = "client"
+                    break
+                if self._wake.wait(interval):
+                    reason = "shutdown"
+                    break
+        except (OSError, WireError):
+            reason = "client"
+        finally:
+            self.watch_active -= 1
+            try:
+                channel.send(
+                    {"ok": True, "event": "closed", "reason": reason, "events": events}
+                )
+            except (OSError, WireError):
+                pass
+
+    def _watch_verify(self, path: str, client_id: str, priority: str) -> dict:
+        """One watch cycle: admit, load, verify incrementally, report.
+
+        Runs under the same admission control as every engine op (each
+        cycle takes and releases the engine slot, so a watch subscription
+        never starves interactive requests), and folds the edit-to-verdict
+        latency into the watch histogram the ``metrics`` op reports.
+        """
+        from ..frontend.loader import ProgramLoadError, load_class_models
+
+        start = time.monotonic()
+        decision = self.admission.admit(client=client_id, priority=priority)
+        if not decision.admitted:
+            response = rejection_response(decision)
+            response["event"] = "rejected"
+            return response
+        self.engine.set_cache_namespace(client_id)
+        try:
+            models = load_class_models(path)
+            classes = []
+            for model in models:
+                report, incremental = self.engine.verify_class_incremental(model)
+                payload = _report_payload(report)
+                payload["incremental"] = incremental.as_dict()
+                classes.append(payload)
+        except ProgramLoadError as exc:
+            # A mid-edit syntax error is normal watch traffic: report it
+            # and keep the subscription alive for the next save.
+            return {"ok": True, "event": "error", "path": path, "error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - the stream must survive
+            return {
+                "ok": True,
+                "event": "error",
+                "path": path,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        finally:
+            self.engine.set_cache_namespace("")
+            self.admission.release()
+        latency = time.monotonic() - start
+        self.watch_latency.add(latency)
+        self.watch_events += 1
+        return {
+            "ok": True,
+            "event": "verdicts",
+            "path": path,
+            "verified": all(entry["verified"] for entry in classes),
+            "classes": classes,
+            "latency": latency,
+            # The carried PR 5 follow-up: the live view surfaces the full
+            # metrics snapshot with every verdict delta.
+            "metrics": self._op_metrics({}),
+        }
 
     # -- request handling ---------------------------------------------------------
 
@@ -667,6 +871,12 @@ class VerifierDaemon:
             "cost_model": engine.cost_model.as_dict(),
             "workers": engine.worker_metrics(),
             "admission": self.admission.snapshot(),
+            "watch": {
+                "subscriptions": self.watch_subscriptions,
+                "active": self.watch_active,
+                "events": self.watch_events,
+                "latency": self.watch_latency.as_dict(),
+            },
             "schedule": None,
         }
         stats = engine.last_suite_stats
@@ -775,6 +985,67 @@ class DaemonClient:
         if response is None:
             raise DaemonError("daemon closed the connection without a response")
         return response
+
+    def watch(self, payload: dict):
+        """Subscribe to a ``watch`` stream; yields event objects.
+
+        The generator holds one connection for the whole subscription (the
+        one op that streams) and ends after the daemon's ``closed`` event,
+        a validation error response, or a server hang-up.  Closing the
+        generator (or just dropping it) hangs the connection up, which the
+        daemon takes as an unsubscribe.
+        """
+        if self.is_tcp and not self.secret:
+            raise DaemonError(
+                f"connecting to the TCP daemon at {self.address} requires "
+                "a shared secret (--secret-file or JAHOB_SECRET)"
+            )
+        try:
+            sock = connect_address(self.address, timeout=self.connect_timeout)
+        except OSError as exc:
+            raise DaemonError(
+                f"cannot connect to daemon at {self.address}: {exc}"
+            ) from exc
+        payload = {**payload, "op": "watch"}
+        if not self.is_tcp and self.client_id and "client" not in payload:
+            payload = {"client": self.client_id, **payload}
+        channel = LineChannel(sock)
+        try:
+            if self.is_tcp:
+                try:
+                    handshake_connect(
+                        channel, self.secret, role=client_role(self.client_id)
+                    )
+                except (WireError, HandshakeError) as exc:
+                    raise DaemonError(
+                        f"handshake with daemon at {self.address} "
+                        f"failed: {exc}"
+                    ) from exc
+            sock.settimeout(None)
+            try:
+                channel.send(payload)
+            except WireError as exc:
+                raise DaemonError(
+                    f"lost connection to daemon at {self.address}: {exc}"
+                ) from exc
+            while True:
+                try:
+                    event = channel.recv()
+                except WireError as exc:
+                    raise DaemonError(
+                        f"lost watch stream from daemon at {self.address}: {exc}"
+                    ) from exc
+                if event is None:
+                    return
+                yield event
+                if not isinstance(event, dict):
+                    return
+                if event.get("event") == "closed" or "event" not in event:
+                    # "closed" ends a healthy stream; an event-less object
+                    # is a validation error response, which is terminal.
+                    return
+        finally:
+            channel.close()
 
     # Small conveniences used by the CLI and the tests.
 

@@ -23,7 +23,7 @@ from pathlib import Path
 from ..frontend.ast import ClassModel, Method
 from ..frontend.lower import lower_method
 from ..gcl.desugar import Desugarer
-from ..provers.cache import PersistentCacheStore, ProofCache
+from ..provers.cache import PersistentCacheStore, ProofCache, task_fingerprint
 from ..provers.dispatch import (
     DispatchResult,
     PortfolioSpec,
@@ -35,9 +35,17 @@ from ..vcgen.assumptions import relevance_filter
 from ..vcgen.sequent import Sequent
 from ..vcgen.vcgen import VcGenerator
 from .costmodel import CostModel
+from .incremental import DependencyIndex, record_from_report, record_from_slots
 from .strip import strip_proofs_from_class
 
-__all__ = ["SequentOutcome", "MethodReport", "ClassReport", "VerificationEngine"]
+__all__ = [
+    "SequentOutcome",
+    "MethodReport",
+    "ClassReport",
+    "PlanEntry",
+    "ClassPlan",
+    "VerificationEngine",
+]
 
 
 @dataclass
@@ -130,6 +138,50 @@ class ClassReport:
         return used
 
 
+@dataclass(frozen=True)
+class PlanEntry:
+    """One sequent of a verification plan.
+
+    The plan's unit of identity is the (class, method, fingerprint)
+    triple: the fingerprint is the alpha-normalized cache identity of the
+    sequent's proof task, so two plans can be diffed without comparing
+    terms.  ``dispatch`` marks the sequents the cache could not answer --
+    the ones execution will actually send to the provers.
+    """
+
+    class_name: str
+    method_name: str
+    fingerprint: tuple
+    dispatch: bool
+
+
+@dataclass
+class ClassPlan:
+    """The planned (but not yet executed) verification of one class.
+
+    Produced by :meth:`VerificationEngine.plan_class_run`: sequent
+    generation, cache consults and fingerprint dedup have happened (in
+    deterministic sequential order -- planning *is* the cache-authority
+    phase), but nothing has been dispatched.  Feed it to
+    :meth:`VerificationEngine.execute_class_plan` to run the provers on
+    the surviving shard and assemble the report.
+    """
+
+    target: ClassModel
+    slots: list = field(default_factory=list)
+    shard: list = field(default_factory=list)
+    stats: object = None
+    entries: list[PlanEntry] = field(default_factory=list)
+    #: Whether execution should record the class's dependency record
+    #: (False for strip-proofs ablation runs, whose stripped bodies must
+    #: not overwrite the real program's record).
+    record_index: bool = True
+
+    @property
+    def dispatch_count(self) -> int:
+        return len(self.shard)
+
+
 class VerificationEngine:
     """Drives lowering, VC generation and prover dispatch.
 
@@ -216,9 +268,16 @@ class VerificationEngine:
         self._pool = None
         self._flushed_mutations = 0
         self._flushed_profile_mutations = 0
+        self._flushed_dependency_mutations = 0
+        #: :class:`~repro.verifier.incremental.IncrementalRunStats` of the
+        #: most recent :meth:`verify_class_incremental` call.
+        self.last_incremental_stats = None
         #: Measured cost profiles feeding the suite scheduler's adaptive
         #: planning and the daemon's ``metrics`` op.
         self.cost_model = CostModel()
+        #: Per-class dependency records mapping source artifacts to the
+        #: sequent fingerprints they produce (incremental verification).
+        self.dependency_index = DependencyIndex()
         if cache_dir is not None and self.portfolio.proof_cache is not None:
             spec = PortfolioSpec.from_portfolio(self.portfolio)
             self.persistent_store = PersistentCacheStore(cache_dir, spec.cache_key)
@@ -228,6 +287,9 @@ class VerificationEngine:
             # tail the preload cap keeps out of the verdict cache.
             self.cost_model.ingest_entries(entries)
             self.cost_model.ingest_profiles(self.persistent_store.last_profiles)
+            self.dependency_index = DependencyIndex(
+                self.persistent_store.last_dependencies
+            )
 
     # -- sequent generation ------------------------------------------------------
 
@@ -257,6 +319,84 @@ class VerificationEngine:
         ):
             task = relevance_filter(task)
         return task
+
+    # -- plan / execute ---------------------------------------------------------------
+
+    def plan_class_run(self, cls: ClassModel, strip_proofs: bool = False) -> ClassPlan:
+        """Phase 1: plan ``cls``'s verification without dispatching.
+
+        Generates every sequent in deterministic sequential order, answers
+        cache hits, folds fingerprint duplicates, and returns a
+        :class:`ClassPlan` whose ``entries`` are the run's (class, method,
+        fingerprint) triples -- ``dispatch=True`` for the unique misses
+        execution will actually prove.  Hand the plan to
+        :meth:`execute_class_plan`.
+        """
+        from .parallel import ParallelRunStats, plan_class
+
+        target = strip_proofs_from_class(cls) if strip_proofs else cls
+        stats = ParallelRunStats(jobs=self.jobs)
+        shard: list = []
+        pending_by_key: dict[tuple, int] = {}
+        slots = plan_class(self, target, shard, pending_by_key, stats)
+        entries = [
+            PlanEntry(
+                class_name=target.name,
+                method_name=target.methods[slot.method_index].name,
+                fingerprint=task_fingerprint(slot.task),
+                dispatch=slot.shard_index is not None,
+            )
+            for slot in slots
+        ]
+        return ClassPlan(
+            target=target,
+            slots=slots,
+            shard=shard,
+            stats=stats,
+            entries=entries,
+            record_index=not strip_proofs,
+        )
+
+    def execute_class_plan(self, plan: ClassPlan, jobs: int | None = None):
+        """Phases 2--3: dispatch a plan's shard and assemble the report.
+
+        Returns ``(ClassReport, ParallelRunStats)``.  Dispatch goes
+        through the shared :mod:`repro.verifier.parallel` phases (pool or
+        in-parent for ``jobs <= 1``), the merge replays verdicts in
+        deterministic shard order, and -- unless the plan opted out -- the
+        class's dependency record is refreshed for future incremental
+        runs.
+        """
+        from .parallel import (
+            build_class_report,
+            resolve_duplicates,
+            resolve_shard,
+            run_shard,
+        )
+
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        stats = plan.stats
+        stats.jobs = jobs
+        stats.dispatched = len(plan.shard)
+        results = run_shard(self, plan.shard, jobs, stats)
+        resolve_shard(self.portfolio, plan.shard, results)
+        resolve_duplicates(self.portfolio, plan.slots, results)
+        for slot in plan.shard:
+            self.observe_timing(plan.target.name, slot.key, results[slot.shard_index])
+        self.cost_model.reprofile(
+            plan.target.name, [slot.key for slot in plan.slots]
+        )
+        if plan.record_index:
+            self.record_dependencies(plan.target, plan.slots)
+        return build_class_report(plan.target, plan.slots), stats
+
+    def record_dependencies(self, target: ClassModel, slots) -> None:
+        """Refresh ``target``'s dependency record from a full run's slots."""
+        if self.portfolio.proof_cache is None:
+            return
+        self.dependency_index.record(
+            target.name, record_from_slots(self, target, slots)
+        )
 
     # -- verification ---------------------------------------------------------------
 
@@ -297,12 +437,10 @@ class VerificationEngine:
         the unchanged sequents of the stripped/annotated pair are each
         dispatched to the provers only once.
         """
-        target = strip_proofs_from_class(cls) if strip_proofs else cls
         jobs = self.jobs if parallel is None else max(1, int(parallel))
         if jobs > 1 or self.uses_remote_workers:
-            from .parallel import verify_class_parallel
-
-            report, run_stats = verify_class_parallel(self, target, jobs)
+            plan = self.plan_class_run(cls, strip_proofs=strip_proofs)
+            report, run_stats = self.execute_class_plan(plan, jobs=jobs)
             self.last_parallel_stats = run_stats
             if self.parallel_stats_total is None:
                 from .parallel import ParallelRunStats
@@ -310,6 +448,7 @@ class VerificationEngine:
                 self.parallel_stats_total = ParallelRunStats(jobs=jobs)
             self.parallel_stats_total.merge(run_stats)
         else:
+            target = strip_proofs_from_class(cls) if strip_proofs else cls
             report = ClassReport(cls.name)
             for method in target.methods:
                 report.methods.append(self.verify_method(target, method))
@@ -327,9 +466,35 @@ class VerificationEngine:
                         for outcome in method_report.outcomes
                     ],
                 )
+                if not strip_proofs:
+                    self.dependency_index.record(
+                        target.name, record_from_report(self, target, report)
+                    )
         self.last_suite_stats = None
         self.flush_persistent_cache()
         return report
+
+    def verify_class_incremental(
+        self, cls: ClassModel, jobs: int | None = None
+    ):
+        """Re-verify ``cls`` against its dependency record.
+
+        Returns ``(ClassReport,
+        :class:`~repro.verifier.incremental.IncrementalRunStats`)``.
+        Methods whose artifacts are unchanged resolve from the index
+        without sequent regeneration; changed methods re-plan, and only
+        fingerprints absent from the record (the *dirty* set) can reach
+        the provers.  Verdicts are identical to a full
+        :meth:`verify_class` of the same class.
+        """
+        from .incremental import verify_class_incremental as _verify_incremental
+
+        report, stats = _verify_incremental(self, cls, jobs=jobs)
+        self.last_incremental_stats = stats
+        self.last_parallel_stats = None
+        self.last_suite_stats = None
+        self.flush_persistent_cache()
+        return report, stats
 
     def verify_suite(
         self,
@@ -503,10 +668,14 @@ class VerificationEngine:
         if (
             cache.mutations == self._flushed_mutations
             and self.cost_model.mutations == self._flushed_profile_mutations
+            and self.dependency_index.mutations == self._flushed_dependency_mutations
         ):
             return 0
         self._flushed_mutations = cache.mutations
         self._flushed_profile_mutations = self.cost_model.mutations
+        self._flushed_dependency_mutations = self.dependency_index.mutations
         return self.persistent_store.save(
-            cache.snapshot(), profiles=self.cost_model.profiles_snapshot()
+            cache.snapshot(),
+            profiles=self.cost_model.profiles_snapshot(),
+            dependencies=self.dependency_index.snapshot(),
         )

@@ -35,6 +35,7 @@ __all__ = [
     "format_verify_file",
     "format_metrics",
     "format_loadgen",
+    "format_watch_event",
 ]
 
 
@@ -406,6 +407,18 @@ def format_metrics(payload: dict) -> str:
             + ", ".join(f"{lane} {count}" for lane, count in sorted(queued.items()))
             + f"; service ewma {admission.get('service_ewma', 0.0):.3f}s"
         )
+    watch = payload.get("watch")
+    if watch and watch.get("subscriptions"):
+        latency = watch.get("latency") or {}
+        lines.append(
+            f"Watch subscriptions ({watch.get('active', 0)} active, "
+            f"{watch.get('subscriptions', 0)} total)"
+        )
+        lines.append(
+            f"  verify cycles       {watch.get('events', 0)}, "
+            f"mean {latency.get('mean', 0.0):.3f}s, "
+            f"max {latency.get('max', 0.0):.3f}s"
+        )
     workers = payload.get("workers") or []
     lines.append("Remote workers")
     if not workers:
@@ -522,6 +535,61 @@ def format_verify_file(path: str, reports: list[ClassReport]) -> str:
     verified = sum(1 for report in reports if report.verified)
     blocks.append(f"{path}: {verified}/{len(reports)} class models verified")
     return "\n\n".join(blocks)
+
+
+def format_watch_event(event: dict) -> str:
+    """Render one daemon ``watch`` stream event for the terminal.
+
+    One block per event: ``verdicts`` events carry per-class incremental
+    accounting (clean / dirty / dispatched), so the user can see that an
+    edit re-proved only the sequents it invalidated.
+    """
+    kind = event.get("event") if isinstance(event, dict) else None
+    if kind == "subscribed":
+        return (
+            f"watching {event.get('path')} "
+            f"(poll every {event.get('interval', 0):g}s, ctrl-C to stop)"
+        )
+    if kind == "verdicts":
+        generation = event.get("generation", 0)
+        lines = []
+        for entry in event.get("classes", []):
+            status = "ok" if entry.get("verified") else "FAILED"
+            incremental = entry.get("incremental") or {}
+            if incremental.get("cold_start"):
+                detail = f"cold start, {incremental.get('dispatched', 0)} dispatched"
+            else:
+                detail = (
+                    f"{incremental.get('sequents_clean', 0)} clean, "
+                    f"{incremental.get('sequents_dirty', 0)} dirty, "
+                    f"{incremental.get('dispatched', 0)} dispatched"
+                )
+            lines.append(
+                f"[{generation}] {entry.get('class')}: "
+                f"{entry.get('sequents_proved', 0)}/"
+                f"{entry.get('sequents_total', 0)} sequents {status} "
+                f"({detail}) {event.get('latency', 0.0):.2f}s"
+            )
+            for method in entry.get("methods", []):
+                for outcome in method.get("outcomes", []):
+                    if not outcome.get("proved"):
+                        lines.append(
+                            f"    failed: {method.get('method')}:"
+                            f"{outcome.get('label')}"
+                        )
+        return "\n".join(lines)
+    if kind == "error":
+        return f"error: {event.get('error')} (watch continues)"
+    if kind == "rejected":
+        return f"rejected: {event.get('error')} (watch continues)"
+    if kind == "closed":
+        return (
+            f"watch closed ({event.get('reason')}, "
+            f"{event.get('events', 0)} events)"
+        )
+    if isinstance(event, dict) and not event.get("ok", True):
+        return f"watch error: {event.get('error')}"
+    return str(event)
 
 
 def format_table2(rows: list[Table2Row]) -> str:

@@ -50,7 +50,15 @@ from .parallel import (
     run_shard,
 )
 
-__all__ = ["ClassScheduleStats", "SuiteRunStats", "plan_dispatch_order", "verify_suite"]
+__all__ = [
+    "ClassScheduleStats",
+    "SuitePlan",
+    "SuiteRunStats",
+    "plan_dispatch_order",
+    "plan_suite",
+    "execute_suite",
+    "verify_suite",
+]
 
 #: Flush newly arrived verdicts to the persistent store every this many
 #: results during a suite run (merge-saves are cheap but not free).
@@ -108,25 +116,34 @@ def plan_dispatch_order(
     )
 
 
-def verify_suite(engine, classes: list[ClassModel], jobs: int):
-    """Verify ``classes`` as one scheduled job graph.
+@dataclass
+class SuitePlan:
+    """The planned (but not yet executed) verification of a whole suite.
 
-    Returns ``(reports, SuiteRunStats)`` with one
-    :class:`~repro.verifier.engine.ClassReport` per class, in input order.
-    Verdicts, attribution and portfolio counters are bit-identical to
-    calling ``verify_class`` sequentially on the same engine for each
-    class in the same order (the differential tests assert this for
-    ``jobs`` in {1, 2, 4}).
+    Produced by :func:`plan_suite`: every class's sequents are generated
+    and cache-consulted in deterministic catalogue order, with the shard
+    and fingerprint-dedup map spanning the whole suite.  Feed it to
+    :func:`execute_suite` to dispatch the shard and assemble the reports.
     """
-    portfolio = engine.portfolio
+
+    classes: list[ClassModel] = field(default_factory=list)
+    planned: list[tuple[ClassModel, list[_Slot]]] = field(default_factory=list)
+    shard: list[_Slot] = field(default_factory=list)
+    shard_ranges: list[tuple[int, int]] = field(default_factory=list)
+    stats: SuiteRunStats = None
+
+
+def plan_suite(engine, classes: list[ClassModel], jobs: int = 1) -> SuitePlan:
+    """Phase 1: plan every class against the (shared) cache, in catalogue
+    order -- this is the deterministic cache-authority order.
+
+    The shard and the pending-duplicate map span the whole suite, so a
+    sequent repeated across classes is proved once and its later
+    occurrences resolve as the memory cache hits a sequential engine
+    would see.
+    """
     cost_model: CostModel = getattr(engine, "cost_model", None) or CostModel()
     stats = SuiteRunStats(jobs=jobs)
-
-    # Phase 1: plan every class against the (shared) cache, in catalogue
-    # order -- this is the deterministic cache-authority order.  The shard
-    # and the pending-duplicate map span the whole suite, so a sequent
-    # repeated across classes is proved once and its later occurrences
-    # resolve as the memory cache hits a sequential engine would see.
     shard: list[_Slot] = []
     pending_by_key: dict[tuple, int] = {}
     planned: list[tuple[ClassModel, list[_Slot]]] = []
@@ -151,6 +168,39 @@ def verify_suite(engine, classes: list[ClassModel], jobs: int):
             )
         )
     stats.dispatched = len(shard)
+    return SuitePlan(
+        classes=classes,
+        planned=planned,
+        shard=shard,
+        shard_ranges=shard_ranges,
+        stats=stats,
+    )
+
+
+def verify_suite(engine, classes: list[ClassModel], jobs: int):
+    """Verify ``classes`` as one scheduled job graph.
+
+    Returns ``(reports, SuiteRunStats)`` with one
+    :class:`~repro.verifier.engine.ClassReport` per class, in input order.
+    Verdicts, attribution and portfolio counters are bit-identical to
+    calling ``verify_class`` sequentially on the same engine for each
+    class in the same order (the differential tests assert this for
+    ``jobs`` in {1, 2, 4}).  Composes :func:`plan_suite` and
+    :func:`execute_suite`.
+    """
+    return execute_suite(engine, plan_suite(engine, classes, jobs), jobs)
+
+
+def execute_suite(engine, plan: SuitePlan, jobs: int):
+    """Phases 2--3: dispatch a suite plan's shard and assemble reports."""
+    portfolio = engine.portfolio
+    cost_model: CostModel = getattr(engine, "cost_model", None) or CostModel()
+    classes = plan.classes
+    planned = plan.planned
+    shard = plan.shard
+    shard_ranges = plan.shard_ranges
+    stats = plan.stats
+    stats.jobs = jobs
 
     # Phase 2: interleave the whole suite's misses across the pool,
     # longest class first by measured-first cost.  What gates the run is
@@ -206,6 +256,7 @@ def verify_suite(engine, classes: list[ClassModel], jobs: int):
     resolve_shard(portfolio, shard, results, store=False)
     reports = []
     observe = getattr(engine, "observe_timing", None)
+    record_dependencies = getattr(engine, "record_dependencies", None)
     for cls, slots in planned:
         resolve_duplicates(portfolio, slots, results)
         if observe is not None:
@@ -216,5 +267,7 @@ def verify_suite(engine, classes: list[ClassModel], jobs: int):
             # rebuild the profile from ground truth instead of letting
             # increments drift across edits/evictions.
             cost_model.reprofile(cls.name, [slot.key for slot in slots])
+        if record_dependencies is not None:
+            record_dependencies(cls, slots)
         reports.append(build_class_report(cls, slots))
     return reports, stats

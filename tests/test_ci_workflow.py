@@ -105,6 +105,34 @@ def test_bench_smoke_step_and_artifact():
         sys.path.pop(0)
 
 
+def test_incremental_smoke_step_and_artifact():
+    """The single-edit incremental latency record rides next to the
+    bench-smoke artifact on every commit."""
+    jobs = load_workflow()["jobs"]
+    runs = all_run_lines(jobs["tier1"])
+    assert "benchmarks/bench_incremental.py" in runs and "--smoke" in runs
+    assert "bench-incremental.json" in runs
+    uploads = [
+        step
+        for step in jobs["tier1"]["steps"]
+        if "upload-artifact" in step.get("uses", "")
+    ]
+    assert any(
+        "bench-incremental.json" in step["with"]["path"] for step in uploads
+    ), "tier1 must upload the incremental benchmark record"
+    # The script entry the workflow calls must exist and stay arg-parsable.
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        import bench_incremental
+
+        assert callable(bench_incremental.main)
+        assert callable(bench_incremental.run_smoke)
+    finally:
+        sys.path.pop(0)
+
+
 def test_lint_job_runs_ruff_with_committed_config():
     jobs = load_workflow()["jobs"]
     runs = all_run_lines(jobs["lint"])

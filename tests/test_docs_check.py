@@ -144,14 +144,33 @@ def test_readme_quickstart_commands_execute():
     assert "Linked List" in listing.stdout
 
 
+def test_readme_watch_quickstart_executes():
+    """The 'Watch mode' block: a --watch subscription that terminates on
+    its own (--watch-max caps the event budget at the baseline run)."""
+    blocks = [
+        block
+        for block in quickstart_blocks()
+        if any("--watch" in command for command in block)
+    ]
+    assert blocks, "README lost its watch-mode quickstart block"
+    (commands,) = blocks
+    assert all("--watch-max" in c for c in commands if "--watch" in c), (
+        "the executed watch command must self-terminate via --watch-max"
+    )
+    run_block(commands)
+
+
 def test_readme_http_quickstart_executes():
     """The 'Serve it over HTTP' block: daemon in the background, loadgen
     and --connect against it, shutdown at the end."""
-    blocks = quickstart_blocks()
-    assert len(blocks) >= 2, "README lost its HTTP quickstart block"
-    commands = blocks[1]
+    blocks = [
+        block
+        for block in quickstart_blocks()
+        if any("loadgen" in command for command in block)
+    ]
+    assert blocks, "README lost its HTTP quickstart block"
+    (commands,) = blocks
     assert any("serve" in command and command.endswith("&") for command in commands)
-    assert any("loadgen" in command for command in commands)
     assert "shutdown" in commands[-1], "the block must stop what it starts"
     run_block(commands)
 

@@ -68,6 +68,15 @@ def test_socket_only_ops_stay_unrouted_and_documented():
         assert f"`{op}`" in text, f"socket-only op {op!r} is undocumented"
 
 
+def test_watch_stream_is_socket_only_and_documented():
+    """``watch`` streams over one held connection; it must stay off the
+    op table (and so off the HTTP front door) and the doc must say so."""
+    assert "watch" not in _ENGINE_OPS
+    assert "watch" not in {route.op for route in ROUTES}
+    text = DOC.read_text(encoding="utf-8")
+    assert "`watch`" in text and "socket-only" in text
+
+
 def test_rejection_codes_are_exactly_documented():
     text = DOC.read_text(encoding="utf-8")
     # The codes table: | `busy` | ... |

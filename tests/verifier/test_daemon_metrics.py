@@ -37,10 +37,11 @@ SECRET = b"daemon-metrics-test-secret"
 def test_protocol_version_is_current():
     # The metrics op arrived in protocol v3; verify_file bumped it to 4;
     # admission control (structured rejections, priority lanes, rate
-    # limits, tenant namespaces) and the HTTP front door bumped it to 5.
-    # Ping reports whatever the current version is -- pin it here so any
-    # future op addition bumps the constant deliberately.
-    assert PROTOCOL_VERSION == 5
+    # limits, tenant namespaces) and the HTTP front door bumped it to 5;
+    # the streaming watch subscription bumped it to 6.  Ping reports
+    # whatever the current version is -- pin it here so any future op
+    # addition bumps the constant deliberately.
+    assert PROTOCOL_VERSION == 6
 
 
 class InThreadWorker(threading.Thread):

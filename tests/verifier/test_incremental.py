@@ -1,0 +1,186 @@
+"""Incremental verification: the plan/execute split, the dependency
+index, and dirty-sequent replanning.
+
+The acceptance-critical differential: after a one-method edit, the
+incremental run's verdicts are bit-identical to a cold full re-run of
+the edited class, and the dirty/clean accounting matches the fingerprint
+diff of the two plans exactly -- nothing more re-proves than the edit
+invalidated, and nothing less.
+"""
+
+from __future__ import annotations
+
+from repro.provers.dispatch import default_portfolio
+from repro.suite.common import StructureBuilder
+from repro.verifier.engine import VerificationEngine
+
+TIMEOUT_SCALE = 0.4
+
+BASE_ENSURES = "value = 0"
+#: Still provable (reset ghost-assigns 0 into history), but a different
+#: postcondition: the edit splits ``reset:Post`` and mints exactly one
+#: fingerprint the base class never produced.
+EDITED_ENSURES = "value = 0 & 0 in history"
+
+
+def build_counter(reset_ensures: str = BASE_ENSURES):
+    s = StructureBuilder("Counter")
+    s.concrete("value", "int")
+    s.concrete("limit", "int")
+    s.ghost("history", "int set")
+    s.invariant("InRange", "0 <= value & value <= limit")
+    s.invariant("Recorded", "value in history")
+    m = s.method(
+        "increment",
+        requires="value < limit",
+        modifies="value, history",
+        ensures="value = old value + 1 & old value in history",
+    )
+    m.assign("value", "value + 1")
+    m.ghost_assign("history", "history Un {value}")
+    m.done()
+    m = s.method(
+        "reset",
+        requires="0 <= limit",
+        modifies="value, history",
+        ensures=reset_ensures,
+    )
+    m.assign("value", "0")
+    m.ghost_assign("history", "history Un {0}")
+    m.done()
+    return s.build()
+
+
+def make_engine(**kwargs) -> VerificationEngine:
+    portfolio = default_portfolio().scaled(TIMEOUT_SCALE)
+    return VerificationEngine(portfolio, **kwargs)
+
+
+def verdicts(report):
+    """The bit-comparable view: (method, label, proved, refuted, prover)."""
+    return [
+        (
+            method.method_name,
+            outcome.sequent.label,
+            outcome.proved,
+            outcome.dispatch.refuted,
+            outcome.prover,
+        )
+        for method in report.methods
+        for outcome in method.outcomes
+    ]
+
+
+# -- plan / execute split ---------------------------------------------------------
+
+
+def test_plan_entries_and_execute_match_full_verify():
+    engine = make_engine()
+    plan = engine.plan_class_run(build_counter())
+    assert {(entry.class_name, entry.method_name) for entry in plan.entries} == {
+        ("Counter", "increment"),
+        ("Counter", "reset"),
+    }
+    # Cold engine: every unique sequent is planned for dispatch.
+    assert plan.dispatch_count == sum(1 for e in plan.entries if e.dispatch) > 0
+    report, run_stats = engine.execute_class_plan(plan)
+    assert run_stats.dispatched == plan.dispatch_count
+    baseline = make_engine().verify_class(build_counter())
+    assert verdicts(report) == verdicts(baseline)
+    # Replanning on the warm engine answers everything from the cache.
+    warm = engine.plan_class_run(build_counter())
+    assert warm.dispatch_count == 0
+    assert {entry.fingerprint for entry in warm.entries} == {
+        entry.fingerprint for entry in plan.entries
+    }
+
+
+def test_strip_proofs_plan_does_not_overwrite_dependency_record():
+    engine = make_engine()
+    engine.verify_class(build_counter())
+    record = engine.dependency_index.get("Counter")
+    assert record is not None
+    plan = engine.plan_class_run(build_counter(), strip_proofs=True)
+    assert not plan.record_index
+    engine.execute_class_plan(plan)
+    # The ablation run must not poison the real program's record.
+    assert engine.dependency_index.get("Counter") == record
+
+
+# -- incremental runs -------------------------------------------------------------
+
+
+def test_cold_incremental_matches_full_run():
+    engine = make_engine()
+    report, stats = engine.verify_class_incremental(build_counter())
+    assert stats.cold_start
+    assert stats.sequents_clean == 0 and stats.methods_skipped == 0
+    baseline = make_engine().verify_class(build_counter())
+    assert verdicts(report) == verdicts(baseline)
+
+
+def test_unchanged_class_resolves_fully_clean():
+    engine = make_engine()
+    full = engine.verify_class(build_counter())
+    report, stats = engine.verify_class_incremental(build_counter())
+    assert not stats.cold_start
+    assert stats.dispatched == 0
+    assert stats.sequents_dirty == 0 and not stats.dirty_labels
+    assert stats.methods_skipped == stats.methods_total == 2
+    assert stats.sequents_clean == stats.sequents_total == full.sequents_total
+    assert verdicts(report) == verdicts(full)
+
+
+def test_one_method_edit_reproves_exactly_the_fingerprint_diff():
+    engine = make_engine()
+    engine.verify_class(build_counter())
+    edited = build_counter(EDITED_ENSURES)
+    report, stats = engine.verify_class_incremental(edited)
+
+    # Differential: bit-identical to a cold full run of the edited class.
+    baseline = make_engine().verify_class(edited)
+    assert verdicts(report) == verdicts(baseline)
+    assert report.verified
+
+    # The dirty set is exactly the plan-level fingerprint diff.
+    base_fps = {
+        entry.fingerprint
+        for entry in make_engine().plan_class_run(build_counter()).entries
+    }
+    edited_entries = make_engine().plan_class_run(edited).entries
+    dirty_fps = {e.fingerprint for e in edited_entries} - base_fps
+    assert stats.sequents_dirty == len(dirty_fps) == 1
+    assert stats.dispatched == len(dirty_fps)
+    assert stats.dirty_labels == ["reset:Post.2"]
+    assert stats.sequents_clean == stats.sequents_total - stats.sequents_dirty
+    # The untouched method never regenerated its sequents.
+    assert stats.methods_skipped == 1
+
+
+def test_dependency_index_persists_across_engines(tmp_path):
+    with make_engine(cache_dir=tmp_path) as first:
+        first.verify_class(build_counter())
+    with make_engine(cache_dir=tmp_path) as second:
+        report, stats = second.verify_class_incremental(build_counter())
+        assert not stats.cold_start
+        assert stats.dispatched == 0
+        assert stats.sequents_clean == stats.sequents_total
+        assert report.verified
+        # Clean resolutions are accounted as (disk-loaded) cache hits.
+        counters = second.portfolio.statistics
+        assert counters.cache_hits == stats.sequents_clean
+        assert counters.cache_hits_disk == stats.sequents_clean
+    with make_engine(cache_dir=tmp_path) as third:
+        _, stats = third.verify_class_incremental(build_counter(EDITED_ENSURES))
+        assert not stats.cold_start
+        assert stats.dispatched == 1
+        assert stats.dirty_labels == ["reset:Post.2"]
+
+
+def test_suite_run_seeds_the_incremental_index():
+    engine = make_engine()
+    engine.verify_suite([build_counter()], jobs=1)
+    _, stats = engine.verify_class_incremental(build_counter())
+    assert not stats.cold_start
+    assert stats.dispatched == 0
+    assert stats.sequents_clean == stats.sequents_total

@@ -96,6 +96,38 @@ def test_loader_skips_builders_with_required_arguments(tmp_path):
         load_class_models(path)
 
 
+def test_loader_repeated_loads_pick_up_edits(tmp_path):
+    """Watch mode re-ingests a file on every save: repeated loads must see
+    the edited content and leave no module residue behind."""
+    import sys
+
+    path = tmp_path / "prog.py"
+    path.write_text(GOOD_PROGRAM)
+    (first,) = load_class_models(path)
+    path.write_text(GOOD_PROGRAM.replace('"flip"', '"flop"'))
+    (second,) = load_class_models(path)
+    assert [m.name for m in first.methods] == ["flip"]
+    assert [m.name for m in second.methods] == ["flop"]
+    # The first load's model is untouched by the second load.
+    assert first.methods[0].name == "flip"
+    assert not any(name.startswith("_jahob_program_") for name in sys.modules)
+
+
+def test_loader_same_path_loads_get_distinct_module_names(tmp_path):
+    """Two loads of one path never collide in ``sys.modules`` (daemon
+    request threads can ingest the same file concurrently)."""
+    path = tmp_path / "prog.py"
+    path.write_text(GOOD_PROGRAM + "\nimport sys\nMODULE_NAME = __name__\n")
+    (a,) = load_class_models(path)
+    (b,) = load_class_models(path)
+    assert a.name == b.name == "Toggle"
+    from repro.frontend.loader import _import_file
+
+    first = _import_file(path)
+    second = _import_file(path)
+    assert first.MODULE_NAME != second.MODULE_NAME
+
+
 def test_loader_error_cases(tmp_path):
     with pytest.raises(ProgramLoadError, match="no such file"):
         load_class_models(tmp_path / "missing.py")
